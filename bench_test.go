@@ -1,0 +1,193 @@
+package squeezy_test
+
+import (
+	"testing"
+
+	"squeezy/internal/experiments"
+	"squeezy/internal/units"
+)
+
+// Each benchmark regenerates one table or figure of the paper's
+// evaluation and reports the figure's headline quantity as a custom
+// metric. Use -short for the reduced (Quick) protocols.
+
+func opts(b *testing.B) experiments.Options {
+	return experiments.Options{Seed: 1, Quick: testing.Short()}
+}
+
+func BenchmarkFig1StaticVMIdleMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig1(opts(b))
+		b.ReportMetric(res.HostUsage.Max(), "host-peak-GiB")
+		b.ReportMetric(res.Guest.Max()-last(res.Guest.Values), "guest-drop-GiB")
+	}
+}
+
+func last(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[len(xs)-1]
+}
+
+func BenchmarkFig2InstanceChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig2(opts(b))
+		b.ReportMetric(float64(res.PeakCreations()), "peak-creations/min")
+		b.ReportMetric(float64(res.PeakEvictions()), "peak-evictions/min")
+	}
+}
+
+func BenchmarkFig5ReclaimLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig5(opts(b))
+		b.ReportMetric(res.Speedup("virtio-mem", "squeezy"), "squeezy-speedup-x")
+		b.ReportMetric(res.Speedup("balloon", "virtio-mem"), "virtiomem-over-balloon-x")
+	}
+}
+
+func BenchmarkFig6UtilizationSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig6(opts(b))
+		var sqMax, vmMax float64
+		for _, p := range res.Points {
+			if p.Method == "squeezy" && p.LatencyMs > sqMax {
+				sqMax = p.LatencyMs
+			}
+			if p.Method == "virtio-mem" && p.LatencyMs > vmMax {
+				vmMax = p.LatencyMs
+			}
+		}
+		b.ReportMetric(sqMax, "squeezy-worst-ms")
+		b.ReportMetric(vmMax, "virtiomem-worst-ms")
+	}
+}
+
+func BenchmarkFig7ReclaimCPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig7(opts(b))
+		for _, s := range res.Series {
+			switch s.Method {
+			case "squeezy":
+				b.ReportMetric(s.AvgGuest(), "squeezy-guest-avg-%")
+			case "virtio-mem":
+				b.ReportMetric(s.PeakGuest(), "virtiomem-guest-peak-%")
+			case "balloon":
+				b.ReportMetric(s.PeakHost(), "balloon-host-peak-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig8ReclaimThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig8(opts(b))
+		b.ReportMetric(res.Geomean("squeezy")/res.Geomean("virtio-mem"), "geomean-speedup-x")
+		b.ReportMetric(res.Geomean("squeezy"), "squeezy-MiB/s")
+	}
+}
+
+func BenchmarkFig9Interference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig9(opts(b))
+		for _, s := range res.Series {
+			slow := 0.0
+			if base := s.Baseline(); base > 0 {
+				slow = s.PeakDuring() / base
+			}
+			b.ReportMetric(slow, s.Method+"-slowdown-x")
+		}
+	}
+}
+
+func BenchmarkFig10RestrictedMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig10(opts(b))
+		b.ReportMetric(res.GeomeanP99("squeezy"), "squeezy-p99-x")
+		b.ReportMetric(res.GeomeanP99("virtio-mem"), "virtiomem-p99-x")
+		b.ReportMetric(res.GeomeanP99("harvestvm-opts"), "harvest-p99-x")
+		b.ReportMetric(res.GiBs("squeezy"), "squeezy-GiBs")
+	}
+}
+
+func BenchmarkFig11ModelsComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig11(opts(b))
+		b.ReportMetric(res.ColdStartSpeedup(), "n1-coldstart-speedup-x")
+		b.ReportMetric(res.FootprintRatio(), "1to1-footprint-ratio-x")
+	}
+}
+
+func BenchmarkPlugLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.PlugLatency(opts(b))
+		var sum float64
+		for _, row := range res.Rows {
+			sum += row.PlugMs
+		}
+		b.ReportMetric(sum/float64(len(res.Rows)), "avg-plug-ms")
+	}
+}
+
+// Ablations: design choices DESIGN.md calls out.
+
+// BenchmarkAblationBatching measures the §8 future-work optimization:
+// batching the per-block VM exits of one unplug request into one exit.
+func BenchmarkAblationBatching(b *testing.B) {
+	for _, batched := range []bool{false, true} {
+		name := "unbatched"
+		if batched {
+			name = "batched"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ms := experiments.AblationBatching(batched, 2*units.GiB)
+				b.ReportMetric(ms, "unplug-2GiB-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationZeroing isolates the §2.2 zeroing tax on the vanilla
+// unplug path (24% of latency in the paper).
+func BenchmarkAblationZeroing(b *testing.B) {
+	for _, zero := range []bool{true, false} {
+		name := "zeroing-on"
+		if !zero {
+			name = "zeroing-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ms := experiments.AblationZeroing(zero)
+				b.ReportMetric(ms, "unplug-512MiB-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCandidatePolicy compares virtio-mem block-selection
+// policies: the effective emptiest-first behaviour vs a naive top-down
+// scan.
+func BenchmarkAblationCandidatePolicy(b *testing.B) {
+	for _, policy := range []string{"emptiest", "highest"} {
+		b.Run(policy, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ms := experiments.AblationCandidatePolicy(policy)
+				b.ReportMetric(ms, "unplug-512MiB-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPartitionSize sweeps the Squeezy partition rated
+// size: unplug latency scales linearly with blocks per partition.
+func BenchmarkAblationPartitionSize(b *testing.B) {
+	for _, mib := range []int64{128, 512, 2048} {
+		b.Run(units.HumanBytes(mib*units.MiB), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ms := experiments.AblationPartitionSize(mib * units.MiB)
+				b.ReportMetric(ms, "unplug-one-partition-ms")
+			}
+		})
+	}
+}

@@ -1,0 +1,59 @@
+// Command squeezyctl runs the paper's experiments and prints the tables
+// and series each figure reports.
+//
+// Usage:
+//
+//	squeezyctl [-quick] [-seed N] fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|pluglat|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"squeezy/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	seed := flag.Uint64("seed", 1, "deterministic experiment seed")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: squeezyctl [-quick] [-seed N] <experiment>")
+		fmt.Fprintln(os.Stderr, "experiments: fig1 fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 pluglat all")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+
+	runners := map[string]func(experiments.Options){
+		"fig1":    func(o experiments.Options) { fmt.Print(experiments.Fig1(o).Table()) },
+		"fig2":    func(o experiments.Options) { fmt.Print(experiments.Fig2(o).Table()) },
+		"fig5":    func(o experiments.Options) { fmt.Print(experiments.Fig5(o).Table()) },
+		"fig6":    func(o experiments.Options) { fmt.Print(experiments.Fig6(o).Table()) },
+		"fig7":    func(o experiments.Options) { fmt.Print(experiments.Fig7(o).Table()) },
+		"fig8":    func(o experiments.Options) { fmt.Print(experiments.Fig8(o).Table()) },
+		"fig9":    func(o experiments.Options) { fmt.Print(experiments.Fig9(o).Table()) },
+		"fig10":   func(o experiments.Options) { fmt.Print(experiments.Fig10(o).Table()) },
+		"fig11":   func(o experiments.Options) { fmt.Print(experiments.Fig11(o).Table()) },
+		"pluglat": func(o experiments.Options) { fmt.Print(experiments.PlugLatency(o).Table()) },
+	}
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, n := range []string{"fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "pluglat"} {
+			runners[n](opts)
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := runners[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+		flag.Usage()
+		os.Exit(2)
+	}
+	run(opts)
+}

@@ -1,0 +1,53 @@
+// Command tracegen synthesizes bursty FaaS invocation traces and prints
+// per-minute statistics (or the instance-churn analysis of Figure 2).
+//
+// Usage:
+//
+//	tracegen [-seed N] [-minutes M] [-base RPS] [-burst RPS] [-churn]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"squeezy/internal/sim"
+	"squeezy/internal/trace"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	minutes := flag.Int("minutes", 10, "trace length in minutes")
+	base := flag.Float64("base", 0.5, "quiet-period request rate (rps)")
+	burst := flag.Float64("burst", 20, "in-burst request rate (rps)")
+	churn := flag.Bool("churn", false, "print instance churn (Figure 2 analysis) instead of rates")
+	flag.Parse()
+
+	dur := sim.Duration(*minutes) * sim.Minute
+	tr := trace.GenBursty(*seed, trace.BurstyConfig{
+		Duration: dur,
+		BaseRPS:  *base,
+		BurstRPS: *burst,
+		BurstLen: 20 * sim.Second,
+		BurstGap: 45 * sim.Second,
+	})
+	if *churn {
+		fmt.Println("minute  creations  evictions")
+		for _, p := range trace.InstanceChurn(tr, sim.Second, 5*sim.Minute, dur) {
+			fmt.Printf("%6d  %9d  %9d\n", p.Minute, p.Creations, p.Evictions)
+		}
+		return
+	}
+	counts := make([]int, *minutes)
+	for _, ts := range tr.Times {
+		m := int(sim.Duration(ts) / sim.Minute)
+		if m < len(counts) {
+			counts[m]++
+		}
+	}
+	fmt.Printf("total invocations: %d (peak concurrency %d at 1s exec)\n",
+		tr.Len(), trace.PeakConcurrency(tr, sim.Second))
+	fmt.Println("minute  invocations")
+	for m, c := range counts {
+		fmt.Printf("%6d  %11d\n", m, c)
+	}
+}

@@ -1,0 +1,19 @@
+// Package squeezy is a full reproduction of "Squeezy: Rapid VM Memory
+// Reclamation for Serverless Functions" (EuroSys'26) as a deterministic
+// discrete-event simulation written in pure Go.
+//
+// The paper's artifact is a Linux 6.6 kernel extension plus a Cloud
+// Hypervisor deployment; this repository re-implements every layer the
+// evaluation depends on — buddy allocator, zones and memory blocks, the
+// guest process/page-cache model, virtio-mem and balloon drivers, the
+// Squeezy partition manager, a host/VMM model with nested-fault and
+// VM-exit costs, and an OpenWhisk-style N:1 FaaS runtime — and
+// regenerates every figure of §6. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Entry points:
+//
+//   - cmd/squeezyctl — run any experiment and print its table;
+//   - examples/ — runnable demos of the public API;
+//   - bench_test.go — one benchmark per paper figure.
+package squeezy

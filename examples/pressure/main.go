@@ -1,0 +1,61 @@
+// pressure: the §6.2.2 scenario in miniature — two N:1 VMs share a host
+// too small for both functions' peaks, so one VM's scale-up must wait
+// for the other VM's idle instances to be evicted and unplugged. Run it
+// twice (Squeezy vs vanilla virtio-mem) and compare the waits.
+package main
+
+import (
+	"fmt"
+
+	"squeezy/internal/costmodel"
+	"squeezy/internal/faas"
+	"squeezy/internal/hostmem"
+	"squeezy/internal/sim"
+	"squeezy/internal/units"
+	"squeezy/internal/workload"
+)
+
+func main() {
+	for _, kind := range []faas.BackendKind{faas.VirtioMem, faas.Squeezy} {
+		run(kind)
+	}
+}
+
+func run(kind faas.BackendKind) {
+	bfs := workload.ByName("BFS")
+	cnn := workload.ByName("Cnn")
+	inst := units.AlignUp(bfs.MemoryLimit, units.BlockSize)
+	boot := func(fn *workload.Function) int64 {
+		return units.AlignUp(fn.GuestOSBytes+64*units.MiB, units.BlockSize) +
+			units.AlignUp(fn.FileSharedBytes*5/4, units.BlockSize)
+	}
+	// Room for both VMs' fixed state plus ~3 instances total.
+	hostBytes := boot(bfs) + boot(cnn) + 3*inst + inst/2
+
+	sched := sim.NewScheduler()
+	rt := faas.NewRuntime(sched, hostmem.New(hostBytes), costmodel.Default())
+	vmA := rt.AddVM(faas.VMConfig{Name: "bfs-vm", Kind: kind, Fn: bfs, N: 8, KeepAlive: 2 * sim.Minute})
+	vmB := rt.AddVM(faas.VMConfig{Name: "cnn-vm", Kind: kind, Fn: cnn, N: 8, KeepAlive: 2 * sim.Minute})
+
+	// Phase 1: BFS burst fills the host.
+	for i := 0; i < 3; i++ {
+		delay := sim.Duration(i) * 100 * sim.Millisecond
+		sched.At(sim.Time(delay), func() { vmA.InvokePrimary(nil) })
+	}
+	// Phase 2 (t=30s): CNN needs memory; BFS instances are idle and must
+	// be evicted + unplugged first.
+	var cnnResults []faas.Result
+	sched.At(sim.Time(30*sim.Second), func() {
+		for i := 0; i < 2; i++ {
+			vmB.InvokePrimary(func(r faas.Result) { cnnResults = append(cnnResults, r) })
+		}
+	})
+	sched.RunUntil(sim.Time(2 * sim.Minute))
+
+	fmt.Printf("%s:\n", kind)
+	for i, r := range cnnResults {
+		fmt.Printf("  CNN cold start %d: total %7.0fms (waited %6.0fms for memory, plug %4.0fms)\n",
+			i+1, r.Latency.Milliseconds(), r.Phases.MemWait.Milliseconds(), r.Phases.VMMDelay.Milliseconds())
+	}
+	fmt.Printf("  BFS evictions under pressure: %d\n\n", vmA.Evictions)
+}

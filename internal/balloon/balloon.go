@@ -1,0 +1,113 @@
+// Package balloon models the virtio-balloon driver, the state-of-
+// practice VM memory reclamation interface (Waldspurger, OSDI'02;
+// Schopp et al., OLS'06).
+//
+// Inflation reserves free guest pages and reports them to the
+// hypervisor one page at a time; every report is a VM exit, which is
+// why ballooning's reclamation cost explodes with size (≈81% of its
+// latency is exit handling, Figure 5) and why it is ≈2.34x slower than
+// virtio-mem. The guest keeps the reserved pages allocated (they are
+// simply unusable), so ballooning does not shrink the guest's memory
+// map — deflation just frees them back.
+package balloon
+
+import (
+	"squeezy/internal/guestos"
+	"squeezy/internal/sim"
+	"squeezy/internal/stats"
+	"squeezy/internal/units"
+	"squeezy/internal/vmm"
+)
+
+// CPU accounting classes.
+const (
+	GuestClass = "balloon"
+	HostClass  = "balloon-vmm"
+)
+
+// InflateResult reports one inflation request.
+type InflateResult struct {
+	RequestedBytes int64
+	ReclaimedBytes int64 // guest pages reserved and reported
+	ReleasedPages  int64 // host frames actually freed (populated ones)
+	Breakdown      *stats.Breakdown
+	Latency        sim.Duration
+}
+
+// Driver is the guest balloon driver of one VM.
+type Driver struct {
+	K *guestos.Kernel
+
+	proc    *guestos.Process // owns the reserved pages
+	busy    bool
+	pending []func()
+}
+
+// New creates a balloon driver for the kernel.
+func New(k *guestos.Kernel) *Driver {
+	return &Driver{K: k, proc: k.Spawn("balloon")}
+}
+
+// HeldPages returns the pages currently held by the balloon.
+func (d *Driver) HeldPages() int64 { return d.proc.AnonPages() }
+
+func (d *Driver) enqueue(fn func()) {
+	if d.busy {
+		d.pending = append(d.pending, fn)
+		return
+	}
+	d.busy = true
+	fn()
+}
+
+func (d *Driver) finish() {
+	if len(d.pending) > 0 {
+		next := d.pending[0]
+		d.pending = d.pending[1:]
+		next()
+		return
+	}
+	d.busy = false
+}
+
+// Inflate reserves bytes of free guest memory and releases the backing
+// host frames. When free guest memory runs short the balloon reclaims
+// less than asked (it cannot migrate). onDone fires when the last page
+// has been reported and released.
+func (d *Driver) Inflate(bytes int64, onDone func(InflateResult)) {
+	d.enqueue(func() {
+		vm := d.K.VM
+		want := units.BytesToPages(bytes)
+		chunks, got := d.K.AllocReserved(d.proc, want)
+
+		// The host releases whichever of the reserved pages were
+		// populated (madvise(MADV_DONTNEED) per reported page).
+		var released int64
+		for _, c := range chunks {
+			released += d.K.ReleaseChunkFrames(c)
+		}
+
+		steps := []vmm.Step{
+			{Pool: vm.GuestReclaimPool(), Work: sim.Duration(got) * vm.Cost.BalloonGuestPerPage, Class: GuestClass, Label: vmm.StepRest, Weight: vmm.KthreadWeight},
+			{Pool: vm.HostThreads, Work: sim.Duration(got) * vm.Cost.VMExitPerPage, Class: HostClass, Label: vmm.StepVMExits},
+		}
+		vm.CountExit("balloon-inflate", got)
+		vmm.RunChain(vm.Sched, steps, func(bd *stats.Breakdown, total sim.Duration) {
+			res := InflateResult{
+				RequestedBytes: bytes,
+				ReclaimedBytes: units.PagesToBytes(got),
+				ReleasedPages:  released,
+				Breakdown:      bd,
+				Latency:        total,
+			}
+			d.finish()
+			onDone(res)
+		})
+	})
+}
+
+// Deflate returns bytes of ballooned memory to the guest. The freed
+// pages are unbacked in the host until next touch.
+func (d *Driver) Deflate(bytes int64) int64 {
+	return d.K.FreeAnon(d.proc, bytes)
+}

@@ -1,0 +1,296 @@
+// Package buddy implements a Linux-style binary buddy page allocator.
+//
+// The allocator manages a span of page frames [base, base+npages). Pages
+// enter the allocator through Free/FreeRange (memory onlining) and leave
+// through Alloc (page allocation) or IsolateRange (memory offlining, the
+// MIGRATE_ISOLATE step of hot-unplug). Chunks are power-of-two sized,
+// naturally aligned, and coalesce eagerly with their buddy on free, as
+// in mm/page_alloc.c.
+//
+// Free lists are per-order LIFO stacks with lazy deletion, so allocation
+// order is deterministic (most-recently-freed first, like the kernel's
+// hot/cold page behaviour) and removing an arbitrary chunk during
+// coalescing or isolation is O(1) amortized.
+package buddy
+
+import "fmt"
+
+// MaxOrder is the largest allocation order (inclusive); order 10 chunks
+// are 4 MiB of 4 KiB pages, matching Linux's MAX_PAGE_ORDER.
+const MaxOrder = 10
+
+const noChunk = int8(-1)
+
+// Allocator is a buddy allocator over a contiguous page-frame span. The
+// zero value is not usable; call New.
+type Allocator struct {
+	base   int64
+	npages int64
+
+	// ord[i] is the order of the free chunk whose head is page base+i,
+	// or noChunk if that page is not the head of a free chunk.
+	ord []int8
+
+	// stacks[k] holds candidate heads (relative indexes) of free chunks
+	// of order k. Entries are validated against ord on pop (lazy
+	// deletion), so stale entries are harmless.
+	stacks [MaxOrder + 1][]int64
+
+	free int64 // pages currently free
+}
+
+// New creates an allocator spanning npages page frames starting at page
+// frame number base. All pages start absent (not free): online memory by
+// calling FreeRange.
+func New(base, npages int64) *Allocator {
+	if npages <= 0 {
+		panic(fmt.Sprintf("buddy: non-positive span %d", npages))
+	}
+	a := &Allocator{base: base, npages: npages, ord: make([]int8, npages)}
+	for i := range a.ord {
+		a.ord[i] = noChunk
+	}
+	return a
+}
+
+// Base returns the first page frame number of the span.
+func (a *Allocator) Base() int64 { return a.base }
+
+// Span returns the number of page frames the allocator covers.
+func (a *Allocator) Span() int64 { return a.npages }
+
+// NrFree returns the number of free pages.
+func (a *Allocator) NrFree() int64 { return a.free }
+
+// Contains reports whether pfn lies within the allocator's span.
+func (a *Allocator) Contains(pfn int64) bool {
+	return pfn >= a.base && pfn < a.base+a.npages
+}
+
+// Alloc removes a free chunk of 2^order pages and returns its first page
+// frame number. ok is false when no chunk of that size can be carved
+// (external fragmentation or exhaustion).
+func (a *Allocator) Alloc(order int) (pfn int64, ok bool) {
+	if order < 0 || order > MaxOrder {
+		panic(fmt.Sprintf("buddy: bad order %d", order))
+	}
+	for k := order; k <= MaxOrder; k++ {
+		head, found := a.pop(k)
+		if !found {
+			continue
+		}
+		// Split down to the requested order, pushing upper halves.
+		for j := k; j > order; j-- {
+			half := head + 1<<(j-1)
+			a.push(half, j-1)
+		}
+		a.free -= 1 << order
+		return a.base + head, true
+	}
+	return 0, false
+}
+
+// Free returns a chunk of 2^order pages starting at pfn to the
+// allocator, coalescing with free buddies. The chunk must have been
+// handed out by Alloc at the same order, or be new memory coming online
+// (via FreeRange, which calls Free with aligned fragments). Freeing a
+// page that is already free corrupts the allocator and panics when
+// detectable.
+func (a *Allocator) Free(pfn int64, order int) {
+	if order < 0 || order > MaxOrder {
+		panic(fmt.Sprintf("buddy: bad order %d", order))
+	}
+	i := pfn - a.base
+	if i < 0 || i+(1<<order) > a.npages {
+		panic(fmt.Sprintf("buddy: Free(%d, %d) outside span [%d,%d)", pfn, order, a.base, a.base+a.npages))
+	}
+	if i&((1<<order)-1) != 0 {
+		panic(fmt.Sprintf("buddy: Free(%d, %d) misaligned", pfn, order))
+	}
+	if a.ord[i] != noChunk {
+		panic(fmt.Sprintf("buddy: double free of pfn %d", pfn))
+	}
+	k := order
+	for k < MaxOrder {
+		bud := i ^ (1 << k)
+		if bud+(1<<k) > a.npages || a.ord[bud] != int8(k) {
+			break
+		}
+		// Detach the buddy (its stack entry goes stale) and merge.
+		a.ord[bud] = noChunk
+		if bud < i {
+			i = bud
+		}
+		k++
+	}
+	a.push(i, k)
+	a.free += 1 << order
+}
+
+// FreeRange onlines an arbitrary (not necessarily aligned or power-of-
+// two) range of pages, decomposing it into maximal aligned chunks.
+func (a *Allocator) FreeRange(pfn, count int64) {
+	i := pfn
+	remaining := count
+	for remaining > 0 {
+		k := MaxOrder
+		for k > 0 && ((i-a.base)&((1<<k)-1) != 0 || int64(1)<<k > remaining) {
+			k--
+		}
+		a.Free(i, k)
+		i += 1 << k
+		remaining -= 1 << k
+	}
+}
+
+// IsolateRange removes every free chunk lying entirely inside
+// [pfn, pfn+count) from the allocator, as the MIGRATE_ISOLATE phase of
+// memory offlining does. It returns the number of pages isolated. Pages
+// in the range that are currently allocated are untouched — the caller
+// must migrate and FreeRange-return them elsewhere, or hand them back
+// with Free after the offline is aborted.
+//
+// The range must be aligned such that no free chunk straddles its
+// boundary; hotplug blocks (128 MiB, 4 MiB-aligned) always satisfy this
+// for MaxOrder 10. IsolateRange panics if a straddling chunk is found.
+func (a *Allocator) IsolateRange(pfn, count int64) int64 {
+	start := pfn - a.base
+	end := start + count
+	if start < 0 || end > a.npages {
+		panic(fmt.Sprintf("buddy: IsolateRange(%d,%d) outside span", pfn, count))
+	}
+	var isolated int64
+	for i := start; i < end; i++ {
+		k := a.ord[i]
+		if k == noChunk {
+			continue
+		}
+		sz := int64(1) << k
+		if i+sz > end {
+			panic(fmt.Sprintf("buddy: free chunk at %d order %d straddles isolation boundary", a.base+i, k))
+		}
+		a.ord[i] = noChunk // stack entry goes stale
+		isolated += sz
+		a.free -= sz
+		i += sz - 1
+	}
+	return isolated
+}
+
+// FreeInRange returns the number of free pages inside [pfn, pfn+count)
+// without modifying the allocator.
+func (a *Allocator) FreeInRange(pfn, count int64) int64 {
+	start := pfn - a.base
+	end := start + count
+	if start < 0 {
+		start = 0
+	}
+	if end > a.npages {
+		end = a.npages
+	}
+	// A free chunk covering [start, ...) may have its head before start;
+	// chunks are order-aligned, so scanning from the max-order boundary
+	// below start finds every chunk that can overlap the range.
+	scan := start &^ ((1 << MaxOrder) - 1)
+	var n int64
+	for i := scan; i < end; i++ {
+		k := a.ord[i]
+		if k == noChunk {
+			continue
+		}
+		sz := int64(1) << k
+		lo, hi := i, i+sz
+		if lo < start {
+			lo = start
+		}
+		if hi > end {
+			hi = end
+		}
+		if hi > lo {
+			n += hi - lo
+		}
+		i += sz - 1
+	}
+	return n
+}
+
+// FreeChunkAt reports whether pfn is the head of a free chunk, and if
+// so that chunk's order. Interior pages of a free chunk, allocated
+// pages, and absent pages all return ok=false.
+func (a *Allocator) FreeChunkAt(pfn int64) (order int, ok bool) {
+	i := pfn - a.base
+	if i < 0 || i >= a.npages {
+		return 0, false
+	}
+	if k := a.ord[i]; k != noChunk {
+		return int(k), true
+	}
+	return 0, false
+}
+
+// LargestFreeOrder returns the highest order with at least one free
+// chunk, or -1 if the allocator is empty.
+func (a *Allocator) LargestFreeOrder() int {
+	for k := MaxOrder; k >= 0; k-- {
+		for _, head := range a.stacks[k] {
+			if a.ord[head] == int8(k) {
+				return k
+			}
+		}
+	}
+	return -1
+}
+
+func (a *Allocator) push(i int64, order int) {
+	a.ord[i] = int8(order)
+	a.stacks[order] = append(a.stacks[order], i)
+}
+
+func (a *Allocator) pop(order int) (int64, bool) {
+	st := a.stacks[order]
+	for len(st) > 0 {
+		head := st[len(st)-1]
+		st = st[:len(st)-1]
+		if a.ord[head] == int8(order) {
+			a.ord[head] = noChunk
+			a.stacks[order] = st
+			return head, true
+		}
+	}
+	a.stacks[order] = st
+	return 0, false
+}
+
+// CheckInvariants validates internal consistency — the free count
+// matches the chunks recorded in ord, no free chunk overlaps another,
+// and every free chunk is order-aligned. It is O(span) and intended for
+// tests.
+func (a *Allocator) CheckInvariants() error {
+	var counted int64
+	i := int64(0)
+	for i < a.npages {
+		k := a.ord[i]
+		if k == noChunk {
+			i++
+			continue
+		}
+		sz := int64(1) << k
+		if i&(sz-1) != 0 {
+			return fmt.Errorf("chunk at %d order %d misaligned", a.base+i, k)
+		}
+		if i+sz > a.npages {
+			return fmt.Errorf("chunk at %d order %d overruns span", a.base+i, k)
+		}
+		for j := i + 1; j < i+sz; j++ {
+			if a.ord[j] != noChunk {
+				return fmt.Errorf("nested chunk head at %d inside chunk at %d", a.base+j, a.base+i)
+			}
+		}
+		counted += sz
+		i += sz
+	}
+	if counted != a.free {
+		return fmt.Errorf("free count %d != chunks total %d", a.free, counted)
+	}
+	return nil
+}

@@ -1,0 +1,399 @@
+package buddy
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func newOnline(base, npages int64) *Allocator {
+	a := New(base, npages)
+	a.FreeRange(base, npages)
+	return a
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	a := newOnline(0, 1024)
+	if a.NrFree() != 1024 {
+		t.Fatalf("NrFree = %d", a.NrFree())
+	}
+	pfn, ok := a.Alloc(0)
+	if !ok {
+		t.Fatal("Alloc failed")
+	}
+	if a.NrFree() != 1023 {
+		t.Fatalf("NrFree after alloc = %d", a.NrFree())
+	}
+	a.Free(pfn, 0)
+	if a.NrFree() != 1024 {
+		t.Fatalf("NrFree after free = %d", a.NrFree())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalescingRestoresMaxOrder(t *testing.T) {
+	a := newOnline(0, 1024)
+	var pfns []int64
+	for {
+		pfn, ok := a.Alloc(0)
+		if !ok {
+			break
+		}
+		pfns = append(pfns, pfn)
+	}
+	if int64(len(pfns)) != 1024 {
+		t.Fatalf("allocated %d pages, want 1024", len(pfns))
+	}
+	for _, p := range pfns {
+		a.Free(p, 0)
+	}
+	if a.NrFree() != 1024 {
+		t.Fatalf("NrFree = %d", a.NrFree())
+	}
+	if got := a.LargestFreeOrder(); got != MaxOrder {
+		t.Fatalf("LargestFreeOrder = %d, want %d (coalescing failed)", got, MaxOrder)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitProducesAlignedChunks(t *testing.T) {
+	a := newOnline(0, 1<<MaxOrder)
+	pfn, ok := a.Alloc(3)
+	if !ok {
+		t.Fatal("Alloc(3) failed")
+	}
+	if pfn%8 != 0 {
+		t.Fatalf("order-3 chunk at %d not aligned", pfn)
+	}
+	if a.NrFree() != (1<<MaxOrder)-8 {
+		t.Fatalf("NrFree = %d", a.NrFree())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonZeroBase(t *testing.T) {
+	a := newOnline(1<<20, 2048)
+	pfn, ok := a.Alloc(0)
+	if !ok || pfn < 1<<20 || pfn >= 1<<20+2048 {
+		t.Fatalf("Alloc = %d,%v", pfn, ok)
+	}
+	if !a.Contains(pfn) || a.Contains(0) {
+		t.Fatal("Contains misbehaves")
+	}
+	a.Free(pfn, 0)
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := newOnline(0, 16)
+	for i := 0; i < 16; i++ {
+		if _, ok := a.Alloc(0); !ok {
+			t.Fatalf("Alloc %d failed early", i)
+		}
+	}
+	if _, ok := a.Alloc(0); ok {
+		t.Fatal("Alloc succeeded on empty allocator")
+	}
+}
+
+func TestFragmentationBlocksHighOrder(t *testing.T) {
+	a := newOnline(0, 1024)
+	var held []int64
+	// Allocate everything as single pages, free every other page:
+	// 512 pages free but no order-1 chunk exists.
+	var all []int64
+	for {
+		p, ok := a.Alloc(0)
+		if !ok {
+			break
+		}
+		all = append(all, p)
+	}
+	for i, p := range all {
+		if i%2 == 0 {
+			a.Free(p, 0)
+		} else {
+			held = append(held, p)
+		}
+	}
+	if a.NrFree() != 512 {
+		t.Fatalf("NrFree = %d", a.NrFree())
+	}
+	if _, ok := a.Alloc(1); ok {
+		t.Fatal("order-1 alloc should fail under checkerboard fragmentation")
+	}
+	for _, p := range held {
+		a.Free(p, 0)
+	}
+	if _, ok := a.Alloc(MaxOrder); !ok {
+		t.Fatal("max-order alloc should succeed after defrag")
+	}
+}
+
+func TestIsolateRange(t *testing.T) {
+	a := newOnline(0, 4096)
+	// Allocate 10 pages, then isolate the first 1024-page "block".
+	var inBlock, outBlock int
+	for i := 0; i < 10; i++ {
+		p, ok := a.Alloc(0)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		if p < 1024 {
+			inBlock++
+		} else {
+			outBlock++
+		}
+	}
+	freeBefore := a.FreeInRange(0, 1024)
+	isolated := a.IsolateRange(0, 1024)
+	if isolated != freeBefore {
+		t.Fatalf("isolated %d, FreeInRange said %d", isolated, freeBefore)
+	}
+	if got := a.FreeInRange(0, 1024); got != 0 {
+		t.Fatalf("FreeInRange after isolation = %d", got)
+	}
+	// Allocations now never land in the isolated range.
+	for i := 0; i < 100; i++ {
+		p, ok := a.Alloc(0)
+		if !ok {
+			break
+		}
+		if p < 1024 {
+			t.Fatalf("alloc returned isolated page %d", p)
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsolateThenReturn(t *testing.T) {
+	a := newOnline(0, 2048)
+	isolated := a.IsolateRange(1024, 1024)
+	if isolated != 1024 {
+		t.Fatalf("isolated %d, want 1024", isolated)
+	}
+	if a.NrFree() != 1024 {
+		t.Fatalf("NrFree = %d", a.NrFree())
+	}
+	// Abort the offline: return the pages.
+	a.FreeRange(1024, 1024)
+	if a.NrFree() != 2048 {
+		t.Fatalf("NrFree after return = %d", a.NrFree())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeRangeUnaligned(t *testing.T) {
+	a := New(0, 10000)
+	a.FreeRange(3, 4097) // deliberately awkward
+	if a.NrFree() != 4097 {
+		t.Fatalf("NrFree = %d", a.NrFree())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := newOnline(0, 64)
+	p, _ := a.Alloc(0)
+	a.Free(p, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected double-free panic")
+		}
+	}()
+	a.Free(p, 0)
+}
+
+func TestMisalignedFreePanics(t *testing.T) {
+	a := New(0, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected misaligned-free panic")
+		}
+	}()
+	a.Free(1, 3)
+}
+
+func TestOutOfSpanFreePanics(t *testing.T) {
+	a := New(0, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected out-of-span panic")
+		}
+	}()
+	a.Free(64, 0)
+}
+
+func TestBadOrderPanics(t *testing.T) {
+	a := newOnline(0, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected bad-order panic")
+		}
+	}()
+	a.Alloc(MaxOrder + 1)
+}
+
+func TestLIFOReuse(t *testing.T) {
+	a := newOnline(0, 1024)
+	p1, _ := a.Alloc(0)
+	a.Free(p1, 0)
+	p2, _ := a.Alloc(0)
+	if p1 != p2 {
+		t.Fatalf("expected LIFO reuse: got %d then %d", p1, p2)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		a := newOnline(0, 4096)
+		rng := rand.New(rand.NewPCG(7, 7))
+		var live []int64
+		var trace []int64
+		for i := 0; i < 2000; i++ {
+			if len(live) > 0 && rng.IntN(2) == 0 {
+				k := rng.IntN(len(live))
+				a.Free(live[k], 0)
+				live = append(live[:k], live[k+1:]...)
+			} else if p, ok := a.Alloc(0); ok {
+				live = append(live, p)
+				trace = append(trace, p)
+			}
+		}
+		return trace
+	}
+	t1, t2 := run(), run()
+	if len(t1) != len(t2) {
+		t.Fatal("nondeterministic trace length")
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("trace diverges at %d: %d vs %d", i, t1[i], t2[i])
+		}
+	}
+}
+
+// Property: after an arbitrary interleaving of allocs and frees, the
+// free count is exact, invariants hold, and freeing everything restores
+// a fully coalesced allocator.
+func TestRandomizedInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		const span = 8192
+		a := newOnline(0, span)
+		type alloc struct {
+			pfn   int64
+			order int
+		}
+		var live []alloc
+		var liveTotal int64
+		for step := 0; step < 3000; step++ {
+			if len(live) > 0 && rng.IntN(10) < 4 {
+				k := rng.IntN(len(live))
+				a.Free(live[k].pfn, live[k].order)
+				liveTotal -= 1 << live[k].order
+				live = append(live[:k], live[k+1:]...)
+			} else {
+				order := rng.IntN(MaxOrder + 1)
+				if pfn, ok := a.Alloc(order); ok {
+					live = append(live, alloc{pfn, order})
+					liveTotal += 1 << order
+				}
+			}
+			if a.NrFree() != span-liveTotal {
+				return false
+			}
+		}
+		if err := a.CheckInvariants(); err != nil {
+			return false
+		}
+		for _, l := range live {
+			a.Free(l.pfn, l.order)
+		}
+		if a.NrFree() != span {
+			return false
+		}
+		return a.LargestFreeOrder() == MaxOrder && a.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: no two live allocations overlap.
+func TestNoOverlappingAllocations(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		const span = 4096
+		a := newOnline(0, span)
+		owner := make([]int, span) // 0 = free, else allocation id
+		id := 0
+		type alloc struct {
+			pfn   int64
+			order int
+			id    int
+		}
+		var live []alloc
+		for step := 0; step < 1500; step++ {
+			if len(live) > 0 && rng.IntN(3) == 0 {
+				k := rng.IntN(len(live))
+				l := live[k]
+				for i := l.pfn; i < l.pfn+1<<l.order; i++ {
+					if owner[i] != l.id {
+						return false
+					}
+					owner[i] = 0
+				}
+				a.Free(l.pfn, l.order)
+				live = append(live[:k], live[k+1:]...)
+			} else {
+				order := rng.IntN(4)
+				pfn, ok := a.Alloc(order)
+				if !ok {
+					continue
+				}
+				id++
+				for i := pfn; i < pfn+1<<order; i++ {
+					if owner[i] != 0 {
+						return false // overlap!
+					}
+					owner[i] = id
+				}
+				live = append(live, alloc{pfn, order, id})
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreeInRangePartialOverlap(t *testing.T) {
+	a := newOnline(0, 2048)
+	// Whole span free; count free pages in an arbitrary sub-range.
+	if got := a.FreeInRange(100, 200); got != 200 {
+		t.Fatalf("FreeInRange = %d, want 200", got)
+	}
+}
+
+func TestLargestFreeOrderEmpty(t *testing.T) {
+	a := New(0, 64)
+	if got := a.LargestFreeOrder(); got != -1 {
+		t.Fatalf("LargestFreeOrder on absent memory = %d, want -1", got)
+	}
+}

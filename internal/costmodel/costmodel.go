@@ -1,0 +1,120 @@
+// Package costmodel centralizes every latency constant of the
+// simulation, calibrated against the measurements the paper reports on
+// its dual-socket Xeon E5-2630 testbed (§5, §6).
+//
+// Calibration anchors (see EXPERIMENTS.md for the paper-vs-measured
+// table):
+//
+//   - vanilla virtio-mem needs ≈617 ms to reclaim 512 MiB and ≈2.5 s for
+//     2 GiB from a loaded guest; migrations are ≈61.5% of that and
+//     zeroing ≈24% (§6.1.1, Figure 5),
+//   - ballooning is ≈2.34x slower than virtio-mem and ≈81% of its time
+//     is VM-exit handling (Figure 5),
+//   - Squeezy reclaims 2 GiB in ≈127 ms, ≈3 ms of VM-exit cost per
+//     128 MiB chunk (§6.1.1, §8),
+//   - plugging memory for one instance costs 35–45 ms (§6.2.1),
+//   - cold starts on a dynamically resized VM are 3–35% slower than on a
+//     static VM because freshly plugged memory must be nested-faulted in
+//     (§6.2.1),
+//   - booting a 1:1 microVM adds ≈20% to cold-start latency (§6.3).
+package costmodel
+
+import "squeezy/internal/sim"
+
+// Model holds every tunable cost constant. Experiments copy and tweak a
+// Model for ablations; the zero value is unusable — start from Default.
+type Model struct {
+	// --- Guest page-level costs ---
+
+	// GuestFaultPerPage is the guest-side cost of handling one minor
+	// page fault (allocate + map one 4 KiB page), excluding zeroing.
+	GuestFaultPerPage sim.Duration
+	// ZeroPerPage is the cost of zeroing one 4 KiB page
+	// (CONFIG_INIT_ON_ALLOC_DEFAULT_ON hardening).
+	ZeroPerPage sim.Duration
+	// MigratePerPage is the cost of migrating one occupied 4 KiB page
+	// during offlining: target allocation, copy, rmap and PTE rewrite,
+	// TLB shootdown.
+	MigratePerPage sim.Duration
+
+	// --- Guest block-level hot(un)plug costs ---
+
+	// OnlineMetaPerBlock is the guest cost of hot-adding and onlining
+	// one 128 MiB block (memmap init, zone/freelist insertion).
+	OnlineMetaPerBlock sim.Duration
+	// OfflineMetaPerBlockVanilla is the guest metadata cost of
+	// offlining and hot-removing one block on the vanilla path
+	// (per-page isolation scans, memmap teardown).
+	OfflineMetaPerBlockVanilla sim.Duration
+	// OfflineMetaPerBlockSqueezy is the same cost on the Squeezy path,
+	// where the partition is known empty and per-page scans vanish.
+	OfflineMetaPerBlockSqueezy sim.Duration
+
+	// --- Host / VMM costs ---
+
+	// VMExitPerBlock is the host-side cost of servicing one virtio-mem
+	// (un)plug response for a 128 MiB block, including the
+	// madvise(MADV_DONTNEED) release.
+	VMExitPerBlock sim.Duration
+	// VMExitPerPage is the host-side cost of one balloon-inflation VM
+	// exit (ballooning reports reclaimed memory a page at a time).
+	VMExitPerPage sim.Duration
+	// BalloonGuestPerPage is the guest balloon driver's cost to reserve
+	// and report one page.
+	BalloonGuestPerPage sim.Duration
+	// PlugHostFixed is the fixed host-side cost of one plug request
+	// (device negotiation, VMM bookkeeping).
+	PlugHostFixed sim.Duration
+	// NestedFaultPerPage is the cost of the first guest touch of a
+	// freshly plugged (host-unbacked) 4 KiB page: EPT violation exit,
+	// host allocation, EPT map.
+	NestedFaultPerPage sim.Duration
+
+	// --- VM lifecycle ---
+
+	// MicroVMBoot is the 1:1-model cost of booting a fresh microVM
+	// (VMM setup, guest kernel boot, in-guest agent start).
+	MicroVMBoot sim.Duration
+
+	// --- Policy knobs (ablations) ---
+
+	// ZeroOnUnplug controls whether the vanilla offline path zeroes the
+	// pages it isolates and the migration targets it allocates, as a
+	// hardened kernel does. Squeezy's allocator is hot(un)plug-aware
+	// and always skips this. Figure 6 disables it for vanilla too.
+	ZeroOnUnplug bool
+	// BatchUnplugExits merges the per-block VM exits of one unplug
+	// request into a single exit (the batching optimization §8 leaves
+	// as future work; implemented here as an ablation).
+	BatchUnplugExits bool
+}
+
+// Default returns the calibrated model.
+func Default() *Model {
+	return &Model{
+		GuestFaultPerPage: 600 * sim.Nanosecond,
+		ZeroPerPage:       1100 * sim.Nanosecond,
+		MigratePerPage:    4 * sim.Microsecond,
+
+		OnlineMetaPerBlock:         1700 * sim.Microsecond,
+		OfflineMetaPerBlockVanilla: 19 * sim.Millisecond,
+		OfflineMetaPerBlockSqueezy: 4900 * sim.Microsecond,
+
+		VMExitPerBlock:      3 * sim.Millisecond,
+		VMExitPerPage:       8900 * sim.Nanosecond,
+		BalloonGuestPerPage: 2100 * sim.Nanosecond,
+		PlugHostFixed:       25 * sim.Millisecond,
+		NestedFaultPerPage:  1500 * sim.Nanosecond,
+
+		MicroVMBoot: 700 * sim.Millisecond,
+
+		ZeroOnUnplug:     true,
+		BatchUnplugExits: false,
+	}
+}
+
+// Clone returns a copy of the model for experiment-local tweaking.
+func (m *Model) Clone() *Model {
+	c := *m
+	return &c
+}

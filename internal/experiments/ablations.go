@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"squeezy/internal/core"
+	"squeezy/internal/costmodel"
+	"squeezy/internal/guestos"
+	"squeezy/internal/hostmem"
+	"squeezy/internal/sim"
+	"squeezy/internal/units"
+	"squeezy/internal/virtiomem"
+	"squeezy/internal/vmm"
+	"squeezy/internal/workload"
+)
+
+// Ablation drivers for the design choices DESIGN.md calls out. Each
+// returns a latency in milliseconds.
+
+// AblationBatching measures a Squeezy unplug of the given size with and
+// without VM-exit batching (§8: batching would merge the ~3 ms per
+// 128 MiB chunk exits of one request into a single exit).
+func AblationBatching(batched bool, bytes int64) float64 {
+	sched := sim.NewScheduler()
+	cost := costmodel.Default()
+	cost.BatchUnplugExits = batched
+	vm := vmm.New("ablation", sched, cost, hostmem.New(0), 4)
+	vm.PinReclaimThreads()
+	k := guestos.NewKernel(vm, guestos.Config{
+		BootBytes: units.BlockSize, KernelResidentBytes: 16 * units.MiB,
+	})
+	mgr := core.NewManager(k, core.Config{PartitionBytes: bytes, Concurrency: 2})
+	mgr.Plug(1, func(int) {})
+	sched.Run()
+	var latMs float64
+	mgr.Unplug(1, func(r core.UnplugResult) { latMs = r.Latency.Milliseconds() })
+	sched.Run()
+	return latMs
+}
+
+// AblationZeroing measures a vanilla virtio-mem 512 MiB unplug from a
+// half-loaded guest with the kernel's zero-on-alloc hardening on or off
+// (§2.2: zeroing is ~24% of unplug latency).
+func AblationZeroing(zeroing bool) float64 {
+	cost := costmodel.Default()
+	cost.ZeroOnUnplug = zeroing
+	return vanillaUnplug512(cost, virtiomem.EmptiestFirst)
+}
+
+// AblationCandidatePolicy measures the same unplug under different
+// block-selection policies ("emptiest" or "highest").
+func AblationCandidatePolicy(policy string) float64 {
+	p := virtiomem.EmptiestFirst
+	if policy == "highest" {
+		p = virtiomem.HighestFirst
+	}
+	return vanillaUnplug512(costmodel.Default(), p)
+}
+
+func vanillaUnplug512(cost *costmodel.Model, policy virtiomem.CandidatePolicy) float64 {
+	sched := sim.NewScheduler()
+	vm := vmm.New("ablation", sched, cost, hostmem.New(0), 4)
+	vm.PinReclaimThreads()
+	const vmBytes = 4 * units.GiB
+	k := guestos.NewKernel(vm, guestos.Config{
+		BootBytes: units.BlockSize, MovableBytes: vmBytes,
+		KernelResidentBytes: 16 * units.MiB,
+	})
+	drv := virtiomem.New(k)
+	drv.Policy = policy
+	drv.Plug(vmBytes, func(int64) {})
+	sched.Run()
+	hogs := make([]*workload.Memhog, 4)
+	for i := range hogs {
+		hogs[i] = workload.NewMemhog(k, fmt.Sprintf("hog%d", i), 512*units.MiB)
+	}
+	interleavedWarmup(k, hogs)
+	hogs[0].Kill()
+	var latMs float64
+	drv.Unplug(512*units.MiB, func(r virtiomem.UnplugResult) { latMs = r.Latency.Milliseconds() })
+	sched.Run()
+	return latMs
+}
+
+// AblationPartitionSize measures one Squeezy partition unplug at the
+// given rated size; latency is linear in blocks per partition.
+func AblationPartitionSize(bytes int64) float64 {
+	return AblationBatching(false, bytes)
+}

@@ -1,0 +1,88 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§6). Each driver builds the full stack — host,
+// VMM, guest kernel, reclamation interface, FaaS runtime, workload —
+// runs the paper's protocol in virtual time, and returns the rows or
+// series the paper plots. Every driver takes a seed and is
+// deterministic for a given seed.
+//
+// EXPERIMENTS.md records paper-reported vs measured values for each
+// driver.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"squeezy/internal/sim"
+)
+
+// Options tune experiment scale; the zero value selects the paper's
+// full protocol.
+type Options struct {
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Quick shrinks workloads (fewer instances, shorter traces) for
+	// smoke tests and -short benchmarks. Shapes still hold; absolute
+	// confidence intervals are looser.
+	Quick bool
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Table is a generic experiment output: a header and rows of cells,
+// renderable as an aligned text table (the paper's rows/series).
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString("# " + t.Title + "\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+// ms formats a duration as milliseconds with sensible precision.
+func ms(d sim.Duration) string { return fmt.Sprintf("%.1f", d.Milliseconds()) }
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"squeezy/internal/sim"
+	"squeezy/internal/trace"
+)
+
+// Fig2Result is Figure 2: per-minute instance creations and evictions
+// aggregated over the 10 most popular functions, one simulated hour,
+// 5-minute keep-alive.
+type Fig2Result struct {
+	Points []trace.ChurnPoint
+}
+
+// Fig2 reproduces Figure 2's analysis: replay Azure-top-10-shaped
+// invocation streams against a keep-alive instance pool and count
+// creations and evictions per minute. Thousands of instances churn per
+// minute, motivating agile VM resizing.
+func Fig2(opts Options) *Fig2Result {
+	duration := sim.Duration(sim.Hour)
+	if opts.Quick {
+		duration = 10 * sim.Minute
+	}
+	traces := trace.GenTopTen(opts.seed(), duration)
+	minutes := int((duration + sim.Minute - 1) / sim.Minute)
+	agg := make([]trace.ChurnPoint, minutes)
+	for i := range agg {
+		agg[i].Minute = i
+	}
+	for _, tr := range traces {
+		pts := trace.InstanceChurn(tr, sim.Second, 5*sim.Minute, duration)
+		for i, p := range pts {
+			agg[i].Creations += p.Creations
+			agg[i].Evictions += p.Evictions
+		}
+	}
+	return &Fig2Result{Points: agg}
+}
+
+// PeakCreations returns the busiest minute's creation count.
+func (r *Fig2Result) PeakCreations() int {
+	m := 0
+	for _, p := range r.Points {
+		if p.Creations > m {
+			m = p.Creations
+		}
+	}
+	return m
+}
+
+// PeakEvictions returns the busiest minute's eviction count.
+func (r *Fig2Result) PeakEvictions() int {
+	m := 0
+	for _, p := range r.Points {
+		if p.Evictions > m {
+			m = p.Evictions
+		}
+	}
+	return m
+}
+
+// Table renders the per-minute churn.
+func (r *Fig2Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 2: instance creations/evictions per minute (top-10 functions)",
+		Header: []string{"minute", "creations", "evictions"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%d", p.Minute), fmt.Sprintf("%d", p.Creations), fmt.Sprintf("%d", p.Evictions))
+	}
+	return t
+}

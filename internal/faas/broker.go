@@ -1,0 +1,134 @@
+package faas
+
+import (
+	"squeezy/internal/hostmem"
+	"squeezy/internal/sim"
+)
+
+// Grant is an admission ticket for host memory. The holder must either
+// Consume it (after its VM committed the memory) or Cancel it.
+type Grant struct {
+	b       *Broker
+	pages   int64
+	granted bool
+	settled bool
+	fn      func(*Grant)
+}
+
+// Granted reports whether the grant has been issued.
+func (g *Grant) Granted() bool { return g.granted }
+
+// Consume settles the grant after the backend committed the memory.
+func (g *Grant) Consume() {
+	if g.settled {
+		panic("faas: grant settled twice")
+	}
+	if !g.granted {
+		panic("faas: consuming an unissued grant")
+	}
+	g.settled = true
+	g.b.reserved -= g.pages
+	// Consuming converts the reservation into a real commit, so the
+	// free pool is unchanged; no pump needed.
+}
+
+// Cancel abandons the grant. A queued grant is dequeued; an issued
+// grant's reservation returns to the pool and waiters are re-examined.
+func (g *Grant) Cancel() {
+	if g.settled {
+		return
+	}
+	g.settled = true
+	if g.granted {
+		g.b.reserved -= g.pages
+		g.b.Pump()
+		return
+	}
+	for i, w := range g.b.waiters {
+		if w == g {
+			g.b.waiters = append(g.b.waiters[:i], g.b.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Broker is the runtime's host-memory admission controller. Scale-up
+// events acquire memory through it; when the host is out of budget the
+// broker queues the request and raises a pressure signal so the runtime
+// can evict idle instances and reclaim their memory (§6.2.2).
+type Broker struct {
+	Host  *hostmem.Host
+	Sched *sim.Scheduler
+
+	// OnPressure, when set, is invoked with the current total deficit
+	// in pages whenever an acquire cannot be satisfied. The runtime
+	// responds by evicting idle instances; each completed unplug calls
+	// Pump.
+	OnPressure func(deficitPages int64)
+
+	reserved int64
+	waiters  []*Grant
+	pumping  bool
+}
+
+// NewBroker creates a broker over the host pool.
+func NewBroker(host *hostmem.Host, sched *sim.Scheduler) *Broker {
+	return &Broker{Host: host, Sched: sched}
+}
+
+// FreePages returns pages available for new grants.
+func (b *Broker) FreePages() int64 { return b.Host.FreeCommitPages() - b.reserved }
+
+// QueuedPages returns the total pages waiting for memory.
+func (b *Broker) QueuedPages() int64 {
+	var n int64
+	for _, w := range b.waiters {
+		n += w.pages
+	}
+	return n
+}
+
+// Acquire requests pages of host memory. fn runs with the issued grant
+// as soon as the reservation is made — possibly synchronously, when the
+// pool has room — otherwise after enough memory is reclaimed. Grants
+// issue in FIFO order.
+func (b *Broker) Acquire(pages int64, fn func(*Grant)) *Grant {
+	g := &Grant{b: b, pages: pages, fn: fn}
+	if len(b.waiters) == 0 && b.FreePages() >= pages {
+		g.granted = true
+		b.reserved += pages
+		fn(g)
+		return g
+	}
+	b.waiters = append(b.waiters, g)
+	if b.OnPressure != nil {
+		b.OnPressure(b.QueuedPages() - max64(b.FreePages(), 0))
+	}
+	return g
+}
+
+// Pump re-examines queued grants after memory is released.
+func (b *Broker) Pump() {
+	if b.pumping {
+		return
+	}
+	b.pumping = true
+	for len(b.waiters) > 0 {
+		g := b.waiters[0]
+		if b.FreePages() < g.pages {
+			break
+		}
+		b.waiters = b.waiters[1:]
+		g.granted = true
+		b.reserved += g.pages
+		g.fn(g)
+	}
+	b.pumping = false
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

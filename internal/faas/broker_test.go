@@ -1,0 +1,114 @@
+package faas
+
+import (
+	"testing"
+
+	"squeezy/internal/hostmem"
+	"squeezy/internal/sim"
+	"squeezy/internal/units"
+)
+
+func TestBrokerImmediateGrant(t *testing.T) {
+	s := sim.NewScheduler()
+	h := hostmem.New(1 * units.GiB)
+	b := NewBroker(h, s)
+	granted := false
+	g := b.Acquire(100, func(*Grant) { granted = true })
+	if !granted || !g.Granted() {
+		t.Fatal("grant not immediate with free memory")
+	}
+	// Reservation holds memory until consumed.
+	if b.FreePages() != units.BytesToPages(1*units.GiB)-100 {
+		t.Fatalf("free = %d", b.FreePages())
+	}
+	h.TryCommit(100)
+	g.Consume()
+	if b.FreePages() != units.BytesToPages(1*units.GiB)-100 {
+		t.Fatalf("free after consume = %d", b.FreePages())
+	}
+}
+
+func TestBrokerQueuesAndPumps(t *testing.T) {
+	s := sim.NewScheduler()
+	h := hostmem.New(units.PagesToBytes(100))
+	b := NewBroker(h, s)
+	h.TryCommit(90)
+	var pressure int64 = -1
+	b.OnPressure = func(d int64) { pressure = d }
+	granted := false
+	b.Acquire(50, func(*Grant) { granted = true })
+	if granted {
+		t.Fatal("grant should queue")
+	}
+	if pressure <= 0 {
+		t.Fatalf("pressure = %d", pressure)
+	}
+	h.Uncommit(60)
+	b.Pump()
+	if !granted {
+		t.Fatal("pump did not grant")
+	}
+}
+
+func TestBrokerFIFO(t *testing.T) {
+	s := sim.NewScheduler()
+	h := hostmem.New(units.PagesToBytes(100))
+	b := NewBroker(h, s)
+	h.TryCommit(100)
+	var order []int
+	b.Acquire(30, func(*Grant) { order = append(order, 1) })
+	b.Acquire(10, func(*Grant) { order = append(order, 2) })
+	h.Uncommit(15)
+	b.Pump()
+	// Head needs 30; only 15 free: nobody granted (no queue jumping).
+	if len(order) != 0 {
+		t.Fatalf("granted out of order: %v", order)
+	}
+	h.Uncommit(30)
+	b.Pump()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestGrantCancelQueued(t *testing.T) {
+	s := sim.NewScheduler()
+	h := hostmem.New(units.PagesToBytes(10))
+	b := NewBroker(h, s)
+	h.TryCommit(10)
+	g := b.Acquire(5, func(*Grant) { t.Fatal("cancelled grant fired") })
+	g.Cancel()
+	h.Uncommit(10)
+	b.Pump()
+	if b.QueuedPages() != 0 {
+		t.Fatal("cancelled waiter still queued")
+	}
+}
+
+func TestGrantCancelIssuedReturnsReservation(t *testing.T) {
+	s := sim.NewScheduler()
+	h := hostmem.New(units.PagesToBytes(10))
+	b := NewBroker(h, s)
+	fired2 := false
+	g1 := b.Acquire(8, func(*Grant) {})
+	b.Acquire(8, func(*Grant) { fired2 = true })
+	g1.Cancel() // returns the 8-page reservation
+	if !fired2 {
+		t.Fatal("cancel did not pump the queue")
+	}
+}
+
+func TestConsumeTwicePanics(t *testing.T) {
+	s := sim.NewScheduler()
+	h := hostmem.New(0)
+	b := NewBroker(h, s)
+	g := b.Acquire(5, func(*Grant) {})
+	h.TryCommit(5)
+	g.Consume()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Consume()
+}

@@ -1,0 +1,752 @@
+// Package faas models the OpenWhisk-based N:1 serverless runtime the
+// paper integrates Squeezy into (§4.2, §6.2), plus the 1:1 microVM
+// model it compares against (§6.3).
+//
+// One FuncVM is an N:1 VM: an in-guest Agent dispatches requests to
+// warm (kept-alive) container instances, creates instances on demand
+// (scale-up: memory plug + container spawn), and evicts instances whose
+// keep-alive window expires (scale-down: container kill + memory
+// unplug). A Runtime coordinates several FuncVMs against one host
+// memory pool through a Broker; when the host runs out of memory,
+// scale-ups queue and idle instances across all VMs are evicted to free
+// memory (§6.2.2).
+//
+// Four memory backends implement the paper's comparison points: a
+// statically over-provisioned VM (no elasticity, Figure 1), vanilla
+// virtio-mem, Squeezy, and virtio-mem with the HarvestVM optimizations
+// (proactive reclamation + slack buffering, [24]).
+package faas
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+
+	"squeezy/internal/core"
+	"squeezy/internal/costmodel"
+	"squeezy/internal/cpu"
+	"squeezy/internal/guestos"
+	"squeezy/internal/hostmem"
+	"squeezy/internal/sim"
+	"squeezy/internal/stats"
+	"squeezy/internal/units"
+	"squeezy/internal/virtiomem"
+	"squeezy/internal/vmm"
+	"squeezy/internal/workload"
+)
+
+// BackendKind selects the memory-elasticity mechanism of an N:1 VM.
+type BackendKind int
+
+// Backends.
+const (
+	// Static is an over-provisioned VM sized for N instances up front;
+	// no plugging or reclamation ever happens (Figure 1's baseline).
+	Static BackendKind = iota
+	// VirtioMem resizes with the vanilla virtio-mem driver.
+	VirtioMem
+	// Squeezy resizes with Squeezy partitions.
+	Squeezy
+	// Harvest is virtio-mem plus the HarvestVM optimizations:
+	// per-VM slack buffers and proactive reclamation.
+	Harvest
+)
+
+// String names the backend as the paper's figures do.
+func (k BackendKind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case VirtioMem:
+		return "virtio-mem"
+	case Squeezy:
+		return "squeezy"
+	case Harvest:
+		return "harvestvm-opts"
+	default:
+		return fmt.Sprintf("BackendKind(%d)", int(k))
+	}
+}
+
+// Phases is the cold-start latency breakdown of Figure 11a.
+type Phases struct {
+	// VMMDelay is microVM boot (1:1) or memory plug latency (N:1).
+	VMMDelay sim.Duration
+	// MemWait is time spent queued for host memory (zero when memory
+	// is abundant).
+	MemWait       sim.Duration
+	ContainerInit sim.Duration
+	FuncInit      sim.Duration
+	Exec          sim.Duration
+}
+
+// Total returns the end-to-end cold start latency.
+func (p Phases) Total() sim.Duration {
+	return p.VMMDelay + p.MemWait + p.ContainerInit + p.FuncInit + p.Exec
+}
+
+// Result is the outcome of one request.
+type Result struct {
+	Fn      *workload.Function
+	Arrival sim.Time
+	Done    sim.Time
+	Latency sim.Duration
+	Cold    bool
+	Dropped bool
+	Phases  Phases // populated for cold starts
+}
+
+// Completion is a compact record for time-series analyses (Figure 9).
+type Completion struct {
+	At      sim.Time
+	Latency sim.Duration
+	Fn      string
+	Cold    bool
+}
+
+type instState int
+
+const (
+	instStarting instState = iota
+	instBusy
+	instIdle
+	instEvicting
+)
+
+// Instance is one function container inside an N:1 VM (or the single
+// container of a 1:1 microVM).
+type Instance struct {
+	fv        *FuncVM
+	fn        *workload.Function
+	proc      *guestos.Process
+	state     instState
+	idleSince sim.Time
+	kaEvent   *sim.Event
+}
+
+// request tracks one invocation through the dispatch queue.
+type request struct {
+	fn      *workload.Function
+	arrival sim.Time
+	onDone  func(Result)
+
+	state      reqState
+	grant      *Grant
+	fromBuffer bool     // served from the HarvestVM slack buffer
+	granted    sim.Time // when memory was granted
+	memWaited  sim.Duration
+	retries    int // OOM-retry attempts (movable backends)
+}
+
+type reqState int
+
+const (
+	reqQueued reqState = iota
+	reqAcquiring
+	reqStarted // removed from queue
+)
+
+// VMConfig sizes one N:1 FuncVM.
+type VMConfig struct {
+	Name string
+	Kind BackendKind
+	// Fn is the primary function; its memory limit sets the partition
+	// (and plug) size. Other functions with the same limit may also be
+	// invoked on this VM (the Figure 9 co-location setup).
+	Fn *workload.Function
+	// CoFns lists additional functions that will run on this VM; their
+	// file dependencies are accounted into the shared page cache
+	// sizing. They must have the same memory limit as Fn.
+	CoFns []*workload.Function
+	// N is the concurrency factor: max concurrent instances.
+	N int
+	// VCPUs overrides the VM's vCPU count; 0 derives it from the CPU
+	// shares and concurrency factor (§5.1).
+	VCPUs float64
+	// KeepAlive is the idle window before eviction; the paper uses 2
+	// minutes (§6.2).
+	KeepAlive sim.Duration
+	// PinReclaim gives reclaim kernel threads a dedicated vCPU
+	// (§6.1.2); without it they contend with instances (Figure 9).
+	PinReclaim bool
+	// HarvestBufferBytes is the slack buffer cap for the Harvest
+	// backend.
+	HarvestBufferBytes int64
+}
+
+// FuncVM is one N:1 VM with its in-guest agent state.
+type FuncVM struct {
+	Cfg    VMConfig
+	Sched  *sim.Scheduler
+	Broker *Broker
+	VM     *vmm.VM
+	K      *guestos.Kernel
+
+	sq   *core.Manager
+	vmem *virtiomem.Driver
+
+	instBytes int64 // block-aligned per-instance memory
+	instances map[*Instance]struct{}
+	idle      []*Instance // oldest-idle first
+	queue     []*request
+	starting  int
+
+	harvestBuffer int64 // plugged-but-unassigned bytes (Harvest)
+	rng           *rand.Rand
+
+	pumping, pumpAgain bool
+
+	// Metrics.
+	Latencies      map[string]*stats.Sample // per function name, ms
+	Completions    []Completion
+	ColdStarts     int
+	WarmStarts     int
+	DroppedReqs    int
+	Evictions      int
+	ReclaimedBytes int64
+	ReclaimTime    sim.Duration
+	ReclaimOps     int
+	PlugTime       sim.Duration
+	PlugOps        int
+}
+
+// NewFuncVM boots an N:1 VM on the host with the configured backend.
+func NewFuncVM(sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model, broker *Broker, cfg VMConfig) *FuncVM {
+	if cfg.N <= 0 {
+		panic("faas: concurrency factor must be positive")
+	}
+	if cfg.KeepAlive <= 0 {
+		cfg.KeepAlive = 2 * sim.Minute
+	}
+	instBytes := units.AlignUp(cfg.Fn.MemoryLimit, units.BlockSize)
+	vcpus := cfg.VCPUs
+	if vcpus <= 0 {
+		vcpus = cfg.Fn.CPUShares * float64(cfg.N)
+	}
+	if vcpus < 1 {
+		vcpus = 1
+	}
+	vm := vmm.New(cfg.Name, sched, cost, host, vcpus)
+	if cfg.PinReclaim {
+		vm.PinReclaimThreads()
+	}
+	sharedNeed := cfg.Fn.FileSharedBytes
+	for _, co := range cfg.CoFns {
+		if units.AlignUp(co.MemoryLimit, units.BlockSize) != instBytes {
+			panic(fmt.Sprintf("faas: co-located function %s has a different memory limit", co.Name))
+		}
+		sharedNeed += co.FileSharedBytes
+	}
+	sharedBytes := units.AlignUp(sharedNeed*5/4, units.BlockSize)
+
+	h := fnv.New64a()
+	h.Write([]byte(cfg.Name))
+	fv := &FuncVM{
+		Cfg:       cfg,
+		Sched:     sched,
+		Broker:    broker,
+		VM:        vm,
+		instBytes: instBytes,
+		instances: make(map[*Instance]struct{}),
+		Latencies: make(map[string]*stats.Sample),
+		rng:       rand.New(rand.NewPCG(h.Sum64(), 0x5a5a)),
+	}
+
+	switch cfg.Kind {
+	case Squeezy:
+		fv.K = guestos.NewKernel(vm, guestos.Config{
+			BootBytes:           units.AlignUp(cfg.Fn.GuestOSBytes+64*units.MiB, units.BlockSize),
+			MovableBytes:        0,
+			KernelResidentBytes: cfg.Fn.GuestOSBytes,
+		})
+		fv.sq = core.NewManager(fv.K, core.Config{
+			PartitionBytes: instBytes,
+			Concurrency:    cfg.N,
+			SharedBytes:    sharedBytes,
+		})
+	default:
+		// Static, VirtioMem and Harvest back instances from
+		// ZONE_MOVABLE; the span covers N instances plus the shared
+		// page cache.
+		movable := int64(cfg.N)*instBytes + sharedBytes
+		fv.K = guestos.NewKernel(vm, guestos.Config{
+			BootBytes:           units.AlignUp(cfg.Fn.GuestOSBytes+64*units.MiB, units.BlockSize),
+			MovableBytes:        movable,
+			KernelResidentBytes: cfg.Fn.GuestOSBytes,
+		})
+		if cfg.Kind == Static {
+			fv.K.OnlineAllMovable()
+		} else {
+			fv.vmem = virtiomem.New(fv.K)
+			// The shared page cache needs backing from the start.
+			fv.vmem.Plug(sharedBytes, func(plugged int64) {
+				if plugged < sharedBytes {
+					panic("faas: host cannot back the shared page cache")
+				}
+			})
+		}
+	}
+	return fv
+}
+
+// InstanceBytes returns the block-aligned per-instance memory size.
+func (fv *FuncVM) InstanceBytes() int64 { return fv.instBytes }
+
+// LiveInstances returns the number of live (starting, busy or idle)
+// instances.
+func (fv *FuncVM) LiveInstances() int { return len(fv.instances) + fv.starting }
+
+// IdleInstances returns the number of idle instances.
+func (fv *FuncVM) IdleInstances() int { return len(fv.idle) }
+
+// QueueLen returns requests waiting for an instance or memory.
+func (fv *FuncVM) QueueLen() int { return len(fv.queue) }
+
+// HarvestBufferBytes returns the current slack buffer (Harvest only).
+func (fv *FuncVM) HarvestBufferBytes() int64 { return fv.harvestBuffer }
+
+// Invoke submits a request for fn at the current virtual time. onDone
+// may be nil.
+func (fv *FuncVM) Invoke(fn *workload.Function, onDone func(Result)) {
+	req := &request{fn: fn, arrival: fv.Sched.Now(), onDone: onDone}
+	fv.queue = append(fv.queue, req)
+	fv.pump()
+}
+
+// InvokePrimary submits a request for the VM's primary function.
+func (fv *FuncVM) InvokePrimary(onDone func(Result)) { fv.Invoke(fv.Cfg.Fn, onDone) }
+
+// pump dispatches queued requests: warm instances first, then cold
+// starts while concurrency and memory allow.
+func (fv *FuncVM) pump() {
+	if fv.pumping {
+		fv.pumpAgain = true
+		return
+	}
+	fv.pumping = true
+	for {
+		fv.pumpAgain = false
+		acted := fv.dispatchOne()
+		if !acted && !fv.pumpAgain {
+			break
+		}
+	}
+	fv.pumping = false
+}
+
+func (fv *FuncVM) dispatchOne() bool {
+	// Warm path: any queued request whose function has an idle
+	// instance runs immediately, even if it was waiting for memory
+	// (§6.2.2: delayed scale-ups fall back to already-alive instances).
+	for i, req := range fv.queue {
+		if inst := fv.takeIdle(req.fn); inst != nil {
+			fv.removeQueued(i)
+			if req.grant != nil {
+				req.grant.Cancel()
+				req.grant = nil
+			}
+			if req.state == reqAcquiring {
+				fv.starting--
+			}
+			req.state = reqStarted
+			fv.runWarm(inst, req)
+			return true
+		}
+	}
+	// Cold path: first plainly-queued request starts acquiring memory
+	// if a concurrency slot is open.
+	for _, req := range fv.queue {
+		if req.state != reqQueued {
+			continue
+		}
+		if fv.LiveInstances() >= fv.Cfg.N {
+			return false
+		}
+		fv.starting++
+		req.state = reqAcquiring
+		fv.acquireMemory(req)
+		return true
+	}
+	return false
+}
+
+func (fv *FuncVM) removeQueued(i int) {
+	fv.queue = append(fv.queue[:i], fv.queue[i+1:]...)
+}
+
+func (fv *FuncVM) removeRequest(req *request) {
+	for i, r := range fv.queue {
+		if r == req {
+			fv.removeQueued(i)
+			return
+		}
+	}
+}
+
+// acquireMemory obtains host memory for one instance according to the
+// backend, then proceeds to plugAndStart.
+func (fv *FuncVM) acquireMemory(req *request) {
+	switch fv.Cfg.Kind {
+	case Static:
+		req.granted = fv.Sched.Now()
+		fv.startCold(req)
+	case Harvest:
+		if fv.harvestBuffer >= fv.instBytes {
+			// Plugged slack absorbs the scale-up instantly — the
+			// HarvestVM buffering benefit.
+			fv.harvestBuffer -= fv.instBytes
+			req.fromBuffer = true
+			req.granted = fv.Sched.Now()
+			fv.startCold(req)
+			return
+		}
+		fv.acquireViaBroker(req)
+	default:
+		fv.acquireViaBroker(req)
+	}
+}
+
+func (fv *FuncVM) acquireViaBroker(req *request) {
+	pages := units.BytesToPages(fv.instBytes)
+	fv.Broker.Acquire(pages, func(g *Grant) {
+		req.grant = g
+		req.granted = fv.Sched.Now()
+		req.memWaited = req.granted.Sub(req.arrival)
+		fv.startCold(req)
+	})
+}
+
+// startCold removes the request from the queue and runs the scale-up
+// workflow: plug, spawn, container init, function init, execution.
+func (fv *FuncVM) startCold(req *request) {
+	fv.removeRequest(req)
+	req.state = reqStarted
+	plugStart := fv.Sched.Now()
+	afterPlug := func(ok bool) {
+		if !ok {
+			// Transient: an in-flight unplug still owns the partition
+			// or the host raced us. Retry shortly; drop only after
+			// repeated failures.
+			if fv.retryCold(req) {
+				return
+			}
+			fv.failRequest(req)
+			return
+		}
+		if req.grant != nil {
+			req.grant.Consume()
+			req.grant = nil
+		}
+		fv.PlugOps++
+		fv.PlugTime += fv.Sched.Now().Sub(plugStart)
+		fv.spawnInstance(req, fv.Sched.Now().Sub(plugStart))
+	}
+	switch fv.Cfg.Kind {
+	case Static:
+		fv.spawnInstance(req, 0)
+	case Squeezy:
+		fv.sq.Plug(1, func(n int) { afterPlug(n == 1) })
+	case VirtioMem, Harvest:
+		if req.fromBuffer {
+			// Served from the plugged slack buffer: no plug needed.
+			fv.spawnInstance(req, 0)
+			return
+		}
+		fv.vmem.Plug(fv.instBytes, func(plugged int64) {
+			// A long-running guest's allocator state is history-
+			// dependent: allocations spread over all online blocks
+			// rather than packing the newest ones. Re-scrambling the
+			// free lists after each plug models that entropy; without
+			// it the LIFO buddy would keep fresh blocks pristine and
+			// make vanilla unplug artificially cheap.
+			fv.K.ScrambleFreeLists(fv.K.Movable, fv.rng)
+			// A partial plug is not fatal on the shared-movable
+			// backends: earlier partial unplugs leave extra blocks
+			// online (§6.2.2 — timeouts force virtio-mem to keep the
+			// maximum memory), and the instance allocates from the
+			// whole zone.
+			afterPlug(true)
+		})
+	}
+}
+
+// spawnInstance creates the container process and walks the cold-start
+// phases.
+func (fv *FuncVM) spawnInstance(req *request, vmmDelay sim.Duration) {
+	inst := &Instance{fv: fv, fn: req.fn, state: instStarting}
+	inst.proc = fv.K.Spawn(req.fn.Name)
+	phases := Phases{VMMDelay: vmmDelay, MemWait: req.memWaited}
+
+	begin := func() {
+		fv.starting--
+		fv.instances[inst] = struct{}{}
+		fv.runColdPhases(inst, req, phases)
+	}
+	if fv.Cfg.Kind == Squeezy {
+		fv.sq.Attach(inst.proc, func(*core.Partition) { begin() })
+		return
+	}
+	begin()
+}
+
+// runColdPhases executes container init, function init and the first
+// request, charging CPU and memory-touch work per phase.
+func (fv *FuncVM) runColdPhases(inst *Instance, req *request, phases Phases) {
+	fn := inst.fn
+	k := fv.K
+
+	// Container init: cold-touch the shared rootfs/deps plus the
+	// private writable layer.
+	rootfs := k.File(fn.Name+"/rootfs", fn.FileSharedBytes)
+	fileWork, okFile := k.TouchFile(inst.proc, rootfs, fn.FileSharedBytes)
+	privWork, okPriv := k.TouchAnon(inst.proc, fn.FilePrivateBytes, guestos.HugeOrder)
+	if !okFile || !okPriv {
+		fv.oomKill(inst, req)
+		return
+	}
+	containerStart := fv.Sched.Now()
+	fv.VM.VCPUs.Submit(fn.ContainerInitCPU+fileWork+privWork, cpu.Config{
+		Name: fn.Name + "/container", Class: "container", Weight: 1, Cap: 1,
+		OnDone: func() {
+			phases.ContainerInit = fv.Sched.Now().Sub(containerStart)
+
+			// Function init: runtime + model heap.
+			initWork, ok := k.TouchAnon(inst.proc, fn.InitAnonBytes(), guestos.HugeOrder)
+			if !ok {
+				fv.oomKill(inst, req)
+				return
+			}
+			initStart := fv.Sched.Now()
+			fv.VM.VCPUs.Submit(fn.FuncInitCPU+initWork, cpu.Config{
+				Name: fn.Name + "/init", Class: "function", Weight: fn.CPUShares, Cap: maxf(fn.CPUShares, 0.1),
+				OnDone: func() {
+					phases.FuncInit = fv.Sched.Now().Sub(initStart)
+
+					// First execution.
+					execWork, ok := k.TouchAnon(inst.proc, fn.ExecAnonBytes(), guestos.HugeOrder)
+					if !ok {
+						fv.oomKill(inst, req)
+						return
+					}
+					execStart := fv.Sched.Now()
+					fv.VM.VCPUs.Submit(fn.ExecCPU+execWork, cpu.Config{
+						Name: fn.Name + "/exec", Class: "function", Weight: fn.CPUShares, Cap: maxf(fn.CPUShares, 0.1),
+						OnDone: func() {
+							phases.Exec = fv.Sched.Now().Sub(execStart)
+							fv.ColdStarts++
+							fv.completeRequest(inst, req, true, phases)
+						},
+					})
+				},
+			})
+		},
+	})
+}
+
+// runWarm executes a request on a kept-alive instance.
+func (fv *FuncVM) runWarm(inst *Instance, req *request) {
+	if inst.kaEvent != nil {
+		inst.kaEvent.Cancel()
+		inst.kaEvent = nil
+	}
+	inst.state = instBusy
+	fn := inst.fn
+	fv.VM.VCPUs.Submit(fn.WarmExecCPU, cpu.Config{
+		Name: fn.Name + "/exec", Class: "function", Weight: fn.CPUShares, Cap: maxf(fn.CPUShares, 0.1),
+		OnDone: func() {
+			fv.WarmStarts++
+			fv.completeRequest(inst, req, false, Phases{})
+		},
+	})
+}
+
+func (fv *FuncVM) completeRequest(inst *Instance, req *request, cold bool, phases Phases) {
+	now := fv.Sched.Now()
+	lat := now.Sub(req.arrival)
+	res := Result{
+		Fn: req.fn, Arrival: req.arrival, Done: now,
+		Latency: lat, Cold: cold, Phases: phases,
+	}
+	s := fv.Latencies[req.fn.Name]
+	if s == nil {
+		s = &stats.Sample{}
+		fv.Latencies[req.fn.Name] = s
+	}
+	s.Add(lat.Milliseconds())
+	fv.Completions = append(fv.Completions, Completion{At: now, Latency: lat, Fn: req.fn.Name, Cold: cold})
+
+	inst.state = instIdle
+	inst.idleSince = now
+	fv.idle = append(fv.idle, inst)
+	inst.kaEvent = fv.Sched.After(fv.Cfg.KeepAlive, func() { fv.Evict(inst) })
+	if req.onDone != nil {
+		req.onDone(res)
+	}
+	fv.pump()
+}
+
+func (fv *FuncVM) failRequest(req *request) {
+	fv.starting--
+	fv.DroppedReqs++
+	if req.grant != nil {
+		req.grant.Cancel()
+		req.grant = nil
+	}
+	if req.onDone != nil {
+		req.onDone(Result{Fn: req.fn, Arrival: req.arrival, Done: fv.Sched.Now(), Dropped: true})
+	}
+	fv.pump()
+}
+
+// oomKill handles a cold start that overran guest memory (possible on
+// the shared-movable backends when concurrent scale-ups race a
+// shrinking zone). The instance dies; the request retries a few times —
+// the runtime prefers late execution over failure (§6.2.2) — before
+// being dropped.
+func (fv *FuncVM) oomKill(inst *Instance, req *request) {
+	delete(fv.instances, inst)
+	fv.K.Exit(inst.proc)
+	fv.releaseInstanceMemory()
+	if fv.retryCold(req) {
+		return
+	}
+	fv.starting++ // failRequest decrements
+	fv.failRequest(req)
+}
+
+// retryCold puts a failed cold start back at the head of the queue for
+// another attempt a moment later. It reports false once the retry
+// budget is exhausted.
+func (fv *FuncVM) retryCold(req *request) bool {
+	if req.retries >= 5 {
+		return false
+	}
+	req.retries++
+	if req.grant != nil {
+		req.grant.Cancel()
+		req.grant = nil
+	}
+	req.state = reqQueued
+	req.fromBuffer = false
+	fv.starting--
+	fv.queue = append([]*request{req}, fv.queue...)
+	fv.Sched.After(100*sim.Millisecond, func() { fv.pump() })
+	return true
+}
+
+func (fv *FuncVM) takeIdle(fn *workload.Function) *Instance {
+	// Most-recently-idled instance of the right function (LIFO keeps
+	// the warm set minimal, letting old instances age out).
+	for i := len(fv.idle) - 1; i >= 0; i-- {
+		if fv.idle[i].fn == fn {
+			inst := fv.idle[i]
+			fv.idle = append(fv.idle[:i], fv.idle[i+1:]...)
+			return inst
+		}
+	}
+	return nil
+}
+
+// Evict kills an idle instance and reclaims its memory (scale-down,
+// Figure 4 right). It is called by keep-alive expiry and by the runtime
+// under host memory pressure.
+func (fv *FuncVM) Evict(inst *Instance) {
+	if inst.state != instIdle {
+		return
+	}
+	for i, in := range fv.idle {
+		if in == inst {
+			fv.idle = append(fv.idle[:i], fv.idle[i+1:]...)
+			break
+		}
+	}
+	if inst.kaEvent != nil {
+		inst.kaEvent.Cancel()
+		inst.kaEvent = nil
+	}
+	inst.state = instEvicting
+	delete(fv.instances, inst)
+	fv.Evictions++
+	fv.K.Exit(inst.proc)
+	fv.releaseInstanceMemory()
+	fv.pump()
+}
+
+// EvictOldestIdle evicts the longest-idle instance, returning whether
+// one existed (used by pressure handling and proactive reclamation).
+func (fv *FuncVM) EvictOldestIdle() bool {
+	if len(fv.idle) == 0 {
+		return false
+	}
+	fv.Evict(fv.idle[0])
+	return true
+}
+
+// releaseInstanceMemory reclaims one instance's memory via the backend.
+func (fv *FuncVM) releaseInstanceMemory() {
+	start := fv.Sched.Now()
+	switch fv.Cfg.Kind {
+	case Static:
+		return
+	case Squeezy:
+		fv.sq.Unplug(1, func(res core.UnplugResult) {
+			fv.recordReclaim(res.ReclaimedBytes, fv.Sched.Now().Sub(start))
+		})
+	case VirtioMem:
+		fv.vmem.Unplug(fv.instBytes, func(res virtiomem.UnplugResult) {
+			fv.recordReclaim(res.ReclaimedBytes, fv.Sched.Now().Sub(start))
+		})
+	case Harvest:
+		if fv.harvestBuffer < fv.Cfg.HarvestBufferBytes {
+			// Keep the memory plugged as slack; committed host memory
+			// stays tied down (the HarvestVM memory tax, Figure 10
+			// right).
+			fv.harvestBuffer += fv.instBytes
+			return
+		}
+		fv.vmem.Unplug(fv.instBytes, func(res virtiomem.UnplugResult) {
+			fv.recordReclaim(res.ReclaimedBytes, fv.Sched.Now().Sub(start))
+		})
+	}
+}
+
+// ReleaseHarvestBuffer unplugs up to bytes of the slack buffer back to
+// the host (pressure response). It returns the bytes being reclaimed.
+func (fv *FuncVM) ReleaseHarvestBuffer(bytes int64) int64 {
+	if fv.Cfg.Kind != Harvest || fv.harvestBuffer == 0 {
+		return 0
+	}
+	take := fv.harvestBuffer
+	if bytes < take {
+		take = bytes
+	}
+	fv.harvestBuffer -= take
+	start := fv.Sched.Now()
+	fv.vmem.Unplug(take, func(res virtiomem.UnplugResult) {
+		fv.recordReclaim(res.ReclaimedBytes, fv.Sched.Now().Sub(start))
+	})
+	return take
+}
+
+func (fv *FuncVM) recordReclaim(bytes int64, took sim.Duration) {
+	fv.ReclaimedBytes += bytes
+	fv.ReclaimTime += took
+	fv.ReclaimOps++
+	fv.Broker.Pump()
+}
+
+// ReclaimThroughputMiBs returns the Figure 8 metric: MiB reclaimed per
+// second of reclaim-operation time.
+func (fv *FuncVM) ReclaimThroughputMiBs() float64 {
+	if fv.ReclaimTime <= 0 {
+		return 0
+	}
+	return float64(fv.ReclaimedBytes) / float64(units.MiB) / fv.ReclaimTime.Seconds()
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

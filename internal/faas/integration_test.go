@@ -1,0 +1,116 @@
+package faas
+
+import (
+	"testing"
+
+	"squeezy/internal/sim"
+	"squeezy/internal/units"
+	"squeezy/internal/workload"
+)
+
+// TestFullLifecycleInvariants runs a few hundred requests against every
+// backend and checks global conservation at the end: every request
+// resolved, host memory returns to the fixed baseline after all
+// keep-alives expire, and the guest kernel's invariants hold.
+func TestFullLifecycleInvariants(t *testing.T) {
+	for _, kind := range []BackendKind{Static, VirtioMem, Squeezy, Harvest} {
+		t.Run(kind.String(), func(t *testing.T) {
+			r := newRuntime(t, 0)
+			fn := workload.ByName("BFS")
+			fv := r.AddVM(VMConfig{
+				Name: "vm", Kind: kind, Fn: fn, N: 8,
+				KeepAlive:          20 * sim.Second,
+				HarvestBufferBytes: units.AlignUp(fn.MemoryLimit, units.BlockSize),
+			})
+			done, dropped := 0, 0
+			// Three waves of requests with gaps longer than keep-alive.
+			for wave := 0; wave < 3; wave++ {
+				base := sim.Time(wave) * sim.Time(60*sim.Second)
+				for i := 0; i < 6; i++ {
+					at := base + sim.Time(i)*sim.Time(400*sim.Millisecond)
+					r.Sched.At(at, func() {
+						fv.InvokePrimary(func(res Result) {
+							done++
+							if res.Dropped {
+								dropped++
+							}
+						})
+					})
+				}
+			}
+			r.Sched.Run()
+			if done != 18 {
+				t.Fatalf("resolved %d of 18 requests", done)
+			}
+			if dropped != 0 {
+				t.Fatalf("dropped %d requests with abundant memory", dropped)
+			}
+			if fv.LiveInstances() != 0 {
+				t.Fatalf("%d instances alive after drain", fv.LiveInstances())
+			}
+			if err := fv.K.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			// Elastic backends return instance memory; only boot, the
+			// shared cache and (for Harvest) the slack buffer remain.
+			if kind != Static {
+				baseline := int64(3)*units.GiB + fv.HarvestBufferBytes()
+				if got := fv.VM.CommittedBytes(); got > baseline {
+					t.Fatalf("committed %s after drain", units.HumanBytes(got))
+				}
+			}
+		})
+	}
+}
+
+// TestRuntimeDeterminism: identical seeds and schedules give identical
+// latency samples.
+func TestRuntimeDeterminism(t *testing.T) {
+	run := func() []float64 {
+		r := newRuntime(t, 2*units.GiB+6*units.GiB)
+		fv := addVM(r, Squeezy, "HTML", 6)
+		for i := 0; i < 20; i++ {
+			at := sim.Time(i) * sim.Time(700*sim.Millisecond)
+			r.Sched.At(at, func() { fv.InvokePrimary(nil) })
+		}
+		r.Sched.Run()
+		return fv.Latencies["HTML"].Values()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("latency %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestBackendMemoryConservation: plugged == unplugged over a full churn
+// cycle for the elastic backends.
+func TestBackendMemoryConservation(t *testing.T) {
+	for _, kind := range []BackendKind{VirtioMem, Squeezy} {
+		t.Run(kind.String(), func(t *testing.T) {
+			r := newRuntime(t, 0)
+			fv := addVM(r, kind, "Cnn", 6)
+			fv.Cfg.KeepAlive = 15 * sim.Second
+			for i := 0; i < 4; i++ {
+				fv.InvokePrimary(nil)
+			}
+			r.Sched.Run()
+			if fv.Evictions != 4 {
+				t.Fatalf("evictions = %d", fv.Evictions)
+			}
+			// virtio-mem may leak a little via partial unplugs; Squeezy
+			// must reclaim exactly what it plugged.
+			if kind == Squeezy && fv.ReclaimedBytes != 4*fv.InstanceBytes() {
+				t.Fatalf("reclaimed %s, plugged %s",
+					units.HumanBytes(fv.ReclaimedBytes), units.HumanBytes(4*fv.InstanceBytes()))
+			}
+			if fv.VM.PopulatedPages() > units.BytesToPages(3*units.GiB) {
+				t.Fatalf("populated %d pages after drain", fv.VM.PopulatedPages())
+			}
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package faas
+
+import (
+	"squeezy/internal/costmodel"
+	"squeezy/internal/cpu"
+	"squeezy/internal/guestos"
+	"squeezy/internal/hostmem"
+	"squeezy/internal/sim"
+	"squeezy/internal/units"
+	"squeezy/internal/vmm"
+	"squeezy/internal/workload"
+)
+
+// ColdStart1to1 boots a fresh microVM for fn — the 1:1 model of §6.3,
+// one dedicated lightweight VM per instance, nothing shared — runs one
+// cold request, and reports the Figure 11a phase breakdown plus the
+// instance's host memory footprint (Figure 11b). onDone receives the
+// results.
+func ColdStart1to1(sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model,
+	fn *workload.Function, onDone func(Phases, int64)) {
+
+	bootStart := sched.Now()
+	sched.After(sim.Duration(cost.MicroVMBoot), func() {
+		vm := vmm.New("microvm-"+fn.Name, sched, cost, host, fn.CPUShares)
+		k := guestos.NewKernel(vm, guestos.Config{
+			BootBytes:           units.AlignUp(fn.GuestOSBytes+64*units.MiB, units.BlockSize),
+			MovableBytes:        units.AlignUp(fn.MemoryLimit, units.BlockSize),
+			KernelResidentBytes: fn.GuestOSBytes,
+		})
+		k.OnlineAllMovable()
+		phases := Phases{VMMDelay: sched.Now().Sub(bootStart)}
+		proc := k.Spawn(fn.Name)
+
+		rootfs := k.File(fn.Name+"/rootfs", fn.FileSharedBytes)
+		fileWork, ok1 := k.TouchFile(proc, rootfs, fn.FileSharedBytes)
+		privWork, ok2 := k.TouchAnon(proc, fn.FilePrivateBytes, guestos.HugeOrder)
+		if !ok1 || !ok2 {
+			panic("faas: microVM too small for container init")
+		}
+		containerStart := sched.Now()
+		vm.VCPUs.Submit(fn.ContainerInitCPU+fileWork+privWork, cpu.Config{
+			Name: "container", Class: "container", Cap: 1,
+			OnDone: func() {
+				phases.ContainerInit = sched.Now().Sub(containerStart)
+				initWork, ok := k.TouchAnon(proc, fn.InitAnonBytes(), guestos.HugeOrder)
+				if !ok {
+					panic("faas: microVM too small for function init")
+				}
+				initStart := sched.Now()
+				vm.VCPUs.Submit(fn.FuncInitCPU+initWork, cpu.Config{
+					Name: "init", Class: "function", Cap: maxf(fn.CPUShares, 0.1),
+					OnDone: func() {
+						phases.FuncInit = sched.Now().Sub(initStart)
+						execWork, ok := k.TouchAnon(proc, fn.ExecAnonBytes(), guestos.HugeOrder)
+						if !ok {
+							panic("faas: microVM too small for execution")
+						}
+						execStart := sched.Now()
+						vm.VCPUs.Submit(fn.ExecCPU+execWork, cpu.Config{
+							Name: "exec", Class: "function", Cap: maxf(fn.CPUShares, 0.1),
+							OnDone: func() {
+								phases.Exec = sched.Now().Sub(execStart)
+								onDone(phases, units.PagesToBytes(vm.PopulatedPages()))
+							},
+						})
+					},
+				})
+			},
+		})
+	})
+}

@@ -1,0 +1,148 @@
+package faas
+
+import (
+	"squeezy/internal/costmodel"
+	"squeezy/internal/hostmem"
+	"squeezy/internal/sim"
+	"squeezy/internal/units"
+)
+
+// Runtime coordinates several N:1 FuncVMs against one host memory pool:
+// it owns the broker, reacts to memory pressure by evicting idle
+// instances across VMs (oldest first), and drains HarvestVM slack
+// buffers before touching live instances (§6.2.2).
+type Runtime struct {
+	Sched  *sim.Scheduler
+	Host   *hostmem.Host
+	Cost   *costmodel.Model
+	Broker *Broker
+	VMs    []*FuncVM
+
+	// ProactiveFactor scales pressure evictions: 1.0 evicts exactly the
+	// deficit; HarvestVM's proactive reclamation uses >1 to reclaim
+	// ahead of demand (§6.2.2).
+	ProactiveFactor float64
+
+	reclaimInFlight int64 // pages expected from in-flight evictions
+}
+
+// NewRuntime creates a runtime over a host pool.
+func NewRuntime(sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model) *Runtime {
+	r := &Runtime{
+		Sched:           sched,
+		Host:            host,
+		Cost:            cost,
+		Broker:          NewBroker(host, sched),
+		ProactiveFactor: 1.0,
+	}
+	r.Broker.OnPressure = r.handlePressure
+	return r
+}
+
+// AddVM boots a FuncVM and registers it with the runtime.
+func (r *Runtime) AddVM(cfg VMConfig) *FuncVM {
+	fv := NewFuncVM(r.Sched, r.Host, r.Cost, r.Broker, cfg)
+	r.VMs = append(r.VMs, fv)
+	return fv
+}
+
+// handlePressure frees host memory for queued scale-ups: drain harvest
+// buffers first, then evict idle instances oldest-first across VMs.
+func (r *Runtime) handlePressure(deficitPages int64) {
+	needed := deficitPages - r.reclaimInFlight
+	if needed <= 0 {
+		return
+	}
+	target := int64(float64(needed) * r.ProactiveFactor)
+
+	// 1) Slack buffers are free memory in disguise; unplug them first.
+	for _, fv := range r.VMs {
+		if target <= 0 {
+			break
+		}
+		released := fv.ReleaseHarvestBuffer(units.PagesToBytes(target))
+		pages := units.BytesToPages(released)
+		r.noteReclaimStarted(fv, pages)
+		target -= pages
+	}
+
+	// 2) Evict idle instances, globally oldest-idle first.
+	for target > 0 {
+		fv := r.oldestIdleVM()
+		if fv == nil {
+			return // nothing evictable; waiters stay queued
+		}
+		pages := units.BytesToPages(fv.instBytes)
+		fv.EvictOldestIdle()
+		r.noteReclaimStarted(fv, pages)
+		target -= pages
+	}
+}
+
+// noteReclaimStarted tracks in-flight reclamation so overlapping
+// pressure signals don't over-evict; the counter drains on a timer
+// since unplug completion is observed indirectly via Broker.Pump.
+func (r *Runtime) noteReclaimStarted(fv *FuncVM, pages int64) {
+	if pages <= 0 {
+		return
+	}
+	r.reclaimInFlight += pages
+	// Conservative upper bound on reclaim latency; afterwards the
+	// memory either arrived (and Pump granted waiters) or the unplug
+	// failed and pressure may fire again.
+	r.Sched.After(5*sim.Second, func() {
+		r.reclaimInFlight -= pages
+		if r.reclaimInFlight < 0 {
+			r.reclaimInFlight = 0
+		}
+		r.Broker.Pump()
+		if r.Broker.QueuedPages() > 0 {
+			r.handlePressure(r.Broker.QueuedPages())
+		}
+	})
+}
+
+func (r *Runtime) oldestIdleVM() *FuncVM {
+	var best *FuncVM
+	var bestSince sim.Time
+	for _, fv := range r.VMs {
+		if len(fv.idle) == 0 {
+			continue
+		}
+		since := fv.idle[0].idleSince
+		if best == nil || since < bestSince {
+			best, bestSince = fv, since
+		}
+	}
+	return best
+}
+
+// CommittedBytes returns host memory committed across all VMs plus
+// pending grants.
+func (r *Runtime) CommittedBytes() int64 {
+	return units.PagesToBytes(r.Host.CommittedPages())
+}
+
+// PopulatedBytes returns host frames in use across all VMs.
+func (r *Runtime) PopulatedBytes() int64 {
+	return units.PagesToBytes(r.Host.PopulatedPages())
+}
+
+// GuestAllocatedBytes sums guest-side allocated memory across VMs (the
+// guest line of Figure 1).
+func (r *Runtime) GuestAllocatedBytes() int64 {
+	var pages int64
+	for _, fv := range r.VMs {
+		pages += fv.K.AllocatedPages()
+	}
+	return units.PagesToBytes(pages)
+}
+
+// LiveInstances sums live instances across VMs.
+func (r *Runtime) LiveInstances() int {
+	n := 0
+	for _, fv := range r.VMs {
+		n += fv.LiveInstances()
+	}
+	return n
+}

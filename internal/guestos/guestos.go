@@ -1,0 +1,695 @@
+// Package guestos models the guest Linux kernel's memory management as
+// the paper depends on it: processes with lazily-faulted anonymous
+// memory, a shared page cache for file mappings, fork/exit lifecycles,
+// a reverse map from physical chunks to their owners, and the
+// migration machinery the hot-unplug path leans on.
+//
+// The model is structural, not statistical: pages live in real zones
+// managed by a real buddy allocator, so footprint interleaving across
+// memory blocks — the phenomenon of Figure 3 that makes vanilla
+// unplugging slow — emerges from the allocation history exactly as it
+// does on Linux.
+package guestos
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"squeezy/internal/costmodel"
+	"squeezy/internal/mem"
+	"squeezy/internal/sim"
+	"squeezy/internal/units"
+	"squeezy/internal/vmm"
+)
+
+// HugeOrder is the allocation order of a 2 MiB THP chunk.
+const HugeOrder = 9
+
+// Chunk is one allocated physical extent (2^Order pages) and its owner:
+// either a process's anonymous memory or a cached file's pages. The
+// reverse map (Kernel.owners) indexes chunks by head PFN so the offline
+// path can find and migrate them.
+type Chunk struct {
+	PFN   mem.PFN
+	Order int
+	Zone  *mem.Zone
+	Proc  *Process    // nil for page-cache chunks
+	File  *CachedFile // nil for anonymous chunks
+}
+
+// Pages returns the chunk size in pages.
+func (c *Chunk) Pages() int64 { return 1 << c.Order }
+
+// Process is a guest process (a function instance's container, or the
+// in-guest agent).
+type Process struct {
+	PID  int
+	Name string
+
+	// AssignedZone, when non-nil, confines the process's anonymous
+	// allocations to one zone — Squeezy's partition assignment. Nil
+	// processes allocate from ZONE_MOVABLE like vanilla Linux.
+	AssignedZone *mem.Zone
+
+	anonChunks []*Chunk
+	anonPages  int64
+	mappedFile map[*CachedFile]int64 // pages of each file this process mapped
+	exited     bool
+}
+
+// AnonPages returns the process's resident anonymous pages.
+func (p *Process) AnonPages() int64 { return p.anonPages }
+
+// Exited reports whether the process has exited.
+func (p *Process) Exited() bool { return p.exited }
+
+// CachedFile is a file resident in the guest page cache, shared across
+// every process that maps it (container rootfs, runtime libraries).
+type CachedFile struct {
+	Name string
+	Zone *mem.Zone // where its pages live
+
+	chunks        []*Chunk
+	residentPages int64
+	mapCount      int
+}
+
+// ResidentPages returns the file's pages currently in the page cache.
+func (f *CachedFile) ResidentPages() int64 { return f.residentPages }
+
+// MapCount returns how many processes currently map the file.
+func (f *CachedFile) MapCount() int { return f.mapCount }
+
+// Kernel is the guest OS memory manager of one VM.
+type Kernel struct {
+	Sched *sim.Scheduler
+	Cost  *costmodel.Model
+	VM    *vmm.VM
+
+	// Normal is the boot memory zone (kernel text/data, the agent);
+	// never hot-unpluggable.
+	Normal *mem.Zone
+	// Movable is ZONE_MOVABLE: user pages and page cache on the
+	// vanilla path; hotplugged memory lands here.
+	Movable *mem.Zone
+	// SharedZone, when non-nil, receives file-backed pages instead of
+	// Movable — Squeezy's shared partition.
+	SharedZone *mem.Zone
+
+	// OnProcExit and OnProcFork let the Squeezy manager observe
+	// process lifecycle (partition refcounting) without a dependency
+	// cycle.
+	OnProcExit func(*Process)
+	OnProcFork func(parent, child *Process)
+
+	zones   []*mem.Zone
+	nextPFN mem.PFN
+
+	nextPID int
+	procs   map[int]*Process
+	owners  map[mem.PFN]*Chunk
+	files   map[string]*CachedFile
+
+	populated bitset // per-PFN: guest page backed by a host frame
+}
+
+// Config sizes a guest kernel.
+type Config struct {
+	// BootBytes is the Normal-zone span (block-aligned, fully online at
+	// boot).
+	BootBytes int64
+	// MovableBytes is the ZONE_MOVABLE span. Blocks start offline; a
+	// hotplug driver onlines them, or OnlineAllMovable does for
+	// statically sized VMs.
+	MovableBytes int64
+	// KernelResidentBytes is the boot footprint of the guest kernel and
+	// agent, allocated from Normal and populated in the host.
+	KernelResidentBytes int64
+}
+
+// NewKernel boots a guest kernel inside vm. The VM must have enough
+// host commit budget for the boot memory (BootBytes is committed here;
+// movable memory is committed as it is plugged).
+func NewKernel(vm *vmm.VM, cfg Config) *Kernel {
+	if cfg.BootBytes <= 0 {
+		panic("guestos: BootBytes must be positive")
+	}
+	bootBytes := units.AlignUp(cfg.BootBytes, units.BlockSize)
+	movBytes := units.AlignUp(cfg.MovableBytes, units.BlockSize)
+	k := &Kernel{
+		Sched:   vm.Sched,
+		Cost:    vm.Cost,
+		VM:      vm,
+		procs:   make(map[int]*Process),
+		owners:  make(map[mem.PFN]*Chunk),
+		files:   make(map[string]*CachedFile),
+		nextPID: 1,
+	}
+	k.Normal = k.addZone("Normal", mem.ZoneNormal, bootBytes)
+	for i := 0; i < k.Normal.Blocks(); i++ {
+		k.Normal.OnlineBlock(i)
+	}
+	if !vm.Commit(units.BytesToPages(bootBytes)) {
+		panic(fmt.Sprintf("guestos: host cannot back boot memory of %s", vm.Name))
+	}
+	if movBytes > 0 {
+		k.Movable = k.addZone("Movable", mem.ZoneMovable, movBytes)
+	}
+	if cfg.KernelResidentBytes > 0 {
+		kp := k.Spawn("kernel")
+		kp.AssignedZone = k.Normal // kernel allocations are non-movable
+		if _, ok := k.TouchAnon(kp, cfg.KernelResidentBytes, HugeOrder); !ok {
+			panic("guestos: boot memory too small for kernel footprint")
+		}
+	}
+	return k
+}
+
+// addZone appends a zone of the given byte span to the guest physical
+// address space.
+func (k *Kernel) addZone(name string, kind mem.ZoneKind, bytes int64) *mem.Zone {
+	pages := units.BytesToPages(units.AlignUp(bytes, units.BlockSize))
+	z := mem.NewZone(name, kind, k.nextPFN, pages)
+	k.nextPFN += pages
+	k.zones = append(k.zones, z)
+	k.populated.grow(k.nextPFN)
+	return z
+}
+
+// AddZone registers an extra zone (a Squeezy partition) spanning bytes.
+// Its blocks start offline.
+func (k *Kernel) AddZone(name string, kind mem.ZoneKind, bytes int64) *mem.Zone {
+	return k.addZone(name, kind, bytes)
+}
+
+// Zones returns all registered zones in address order.
+func (k *Kernel) Zones() []*mem.Zone { return k.zones }
+
+// OnlineAllMovable onlines every movable block, modelling a statically
+// sized (non-hotplug) VM. The host commit for the whole span must
+// succeed.
+func (k *Kernel) OnlineAllMovable() {
+	if k.Movable == nil {
+		return
+	}
+	for i := 0; i < k.Movable.Blocks(); i++ {
+		if !k.Movable.BlockIsOnline(i) {
+			if !k.VM.Commit(units.PagesPerBlock) {
+				panic("guestos: host cannot back static movable memory")
+			}
+			k.Movable.OnlineBlock(i)
+		}
+	}
+}
+
+// --- process lifecycle ---
+
+// Spawn creates a process.
+func (k *Kernel) Spawn(name string) *Process {
+	p := &Process{
+		PID:        k.nextPID,
+		Name:       name,
+		mappedFile: make(map[*CachedFile]int64),
+	}
+	k.nextPID++
+	k.procs[p.PID] = p
+	return p
+}
+
+// Fork creates a child process inheriting the parent's zone assignment
+// (Squeezy co-locates a fork's memory in the parent's partition).
+func (k *Kernel) Fork(parent *Process, name string) *Process {
+	if parent.exited {
+		panic("guestos: fork from exited process")
+	}
+	child := k.Spawn(name)
+	child.AssignedZone = parent.AssignedZone
+	if k.OnProcFork != nil {
+		k.OnProcFork(parent, child)
+	}
+	return child
+}
+
+// Exit terminates a process: all anonymous chunks return to their
+// zones, file map counts drop (pages stay cached), and the exit hook
+// fires. It returns the number of anonymous pages freed.
+func (k *Kernel) Exit(p *Process) int64 {
+	if p.exited {
+		panic(fmt.Sprintf("guestos: double exit of pid %d", p.PID))
+	}
+	freed := p.anonPages
+	for _, c := range p.anonChunks {
+		delete(k.owners, c.PFN)
+		c.Zone.FreePage(c.PFN, c.Order)
+	}
+	p.anonChunks = nil
+	p.anonPages = 0
+	for f, pages := range p.mappedFile {
+		f.mapCount--
+		_ = pages
+	}
+	p.mappedFile = make(map[*CachedFile]int64)
+	p.exited = true
+	delete(k.procs, p.PID)
+	if k.OnProcExit != nil {
+		k.OnProcExit(p)
+	}
+	return freed
+}
+
+// NumProcs returns the number of live processes.
+func (k *Kernel) NumProcs() int { return len(k.procs) }
+
+// --- memory touch paths ---
+
+// anonZone returns the zone backing p's anonymous faults.
+func (k *Kernel) anonZone(p *Process) *mem.Zone {
+	if p.AssignedZone != nil {
+		return p.AssignedZone
+	}
+	if k.Movable == nil {
+		return k.Normal
+	}
+	return k.Movable
+}
+
+// fileZone returns the zone backing page-cache pages.
+func (k *Kernel) fileZone() *mem.Zone {
+	if k.SharedZone != nil {
+		return k.SharedZone
+	}
+	if k.Movable == nil {
+		return k.Normal
+	}
+	return k.Movable
+}
+
+// TouchAnon lazily faults bytes of fresh anonymous memory into p at the
+// given allocation order (HugeOrder for THP-backed workloads, 0 for 4
+// KiB). It returns the guest CPU work consumed by fault handling,
+// zeroing, and nested EPT faults. ok is false when the backing zone ran
+// out of memory — the caller decides between OOM-killing (Squeezy
+// partition overflow) and failing the allocation; any partially
+// allocated chunks remain with the process and are released on Exit.
+func (k *Kernel) TouchAnon(p *Process, bytes int64, order int) (work sim.Duration, ok bool) {
+	if p.exited {
+		panic(fmt.Sprintf("guestos: touch on exited pid %d", p.PID))
+	}
+	zone := k.anonZone(p)
+	npages := units.BytesToPages(bytes)
+	var allocated, fresh int64
+	for allocated < npages {
+		o := order
+		pfn, got := zone.AllocPage(o)
+		for !got && o > 0 {
+			// Fall back to smaller orders under fragmentation, as the
+			// THP fault path does.
+			o--
+			pfn, got = zone.AllocPage(o)
+		}
+		if !got {
+			work += k.anonWork(allocated, fresh)
+			return work, false
+		}
+		c := &Chunk{PFN: pfn, Order: o, Zone: zone, Proc: p}
+		k.owners[pfn] = c
+		p.anonChunks = append(p.anonChunks, c)
+		p.anonPages += c.Pages()
+		allocated += c.Pages()
+		fresh += k.markPopulated(pfn, c.Pages())
+	}
+	return k.anonWork(allocated, fresh), true
+}
+
+func (k *Kernel) anonWork(pages, fresh int64) sim.Duration {
+	w := sim.Duration(pages) * (k.Cost.GuestFaultPerPage + k.Cost.ZeroPerPage)
+	if fresh > 0 {
+		w += k.VM.PopulatePages(fresh)
+	}
+	return w
+}
+
+// FreeAnon releases bytes of p's anonymous memory, newest allocations
+// first (memhog-style churn). It returns the pages actually freed
+// (bounded by the process's resident set).
+func (k *Kernel) FreeAnon(p *Process, bytes int64) int64 {
+	target := units.BytesToPages(bytes)
+	var freed int64
+	for freed < target && len(p.anonChunks) > 0 {
+		c := p.anonChunks[len(p.anonChunks)-1]
+		p.anonChunks = p.anonChunks[:len(p.anonChunks)-1]
+		delete(k.owners, c.PFN)
+		c.Zone.FreePage(c.PFN, c.Order)
+		p.anonPages -= c.Pages()
+		freed += c.Pages()
+	}
+	return freed
+}
+
+// FreeAnonRandom releases bytes of p's anonymous memory, choosing
+// victim chunks uniformly at random. Freeing in random order leaves the
+// buddy freelists in the history-dependent, scattered state a
+// long-running guest has — later allocations then spread across all
+// memory blocks instead of packing the most recently onlined ones.
+func (k *Kernel) FreeAnonRandom(p *Process, bytes int64, rng *rand.Rand) int64 {
+	target := units.BytesToPages(bytes)
+	var freed int64
+	for freed < target && len(p.anonChunks) > 0 {
+		i := rng.IntN(len(p.anonChunks))
+		c := p.anonChunks[i]
+		last := len(p.anonChunks) - 1
+		p.anonChunks[i] = p.anonChunks[last]
+		p.anonChunks = p.anonChunks[:last]
+		delete(k.owners, c.PFN)
+		c.Zone.FreePage(c.PFN, c.Order)
+		p.anonPages -= c.Pages()
+		freed += c.Pages()
+	}
+	return freed
+}
+
+// ScrambleFreeLists gives a zone the allocator state of a long-running
+// guest: it allocates every free page and releases them in random
+// order, so the free lists no longer reflect onlining order. Only the
+// zone's current free memory is touched; allocated pages are
+// unaffected, and no host population happens (the pages are never
+// "touched" by a user).
+func (k *Kernel) ScrambleFreeLists(z *mem.Zone, rng *rand.Rand) {
+	p := k.Spawn("scrambler")
+	p.AssignedZone = z
+	k.AllocReserved(p, z.NrFree())
+	k.FreeAnonRandom(p, units.PagesToBytes(p.anonPages), rng)
+	k.Exit(p)
+}
+
+// File returns (creating if needed) the named file of the given size.
+func (k *Kernel) File(name string, sizeBytes int64) *CachedFile {
+	if f, ok := k.files[name]; ok {
+		return f
+	}
+	f := &CachedFile{Name: name, Zone: k.fileZone()}
+	k.files[name] = f
+	_ = sizeBytes
+	return f
+}
+
+// TouchFile maps bytes of file f into p, faulting pages into the page
+// cache on first access and reusing cached pages afterwards — the
+// sharing that gives the N:1 model its memory savings (§6.3). The
+// returned work covers major faults (allocate+zero+populate) for
+// uncached pages and minor faults for cached ones. ok is false when the
+// cache zone is exhausted.
+func (k *Kernel) TouchFile(p *Process, f *CachedFile, bytes int64) (work sim.Duration, ok bool) {
+	if p.exited {
+		panic(fmt.Sprintf("guestos: touch on exited pid %d", p.PID))
+	}
+	npages := units.BytesToPages(bytes)
+	if _, mapped := p.mappedFile[f]; !mapped {
+		f.mapCount++
+	}
+	if npages > p.mappedFile[f] {
+		p.mappedFile[f] = npages
+	}
+	// Minor faults for the pages already resident.
+	cachedShare := npages
+	if f.residentPages < cachedShare {
+		cachedShare = f.residentPages
+	}
+	work = sim.Duration(cachedShare) * k.Cost.GuestFaultPerPage
+	// Major faults extend the cache.
+	var fresh int64
+	for f.residentPages < npages {
+		o := HugeOrder
+		if remaining := npages - f.residentPages; remaining < 1<<HugeOrder {
+			o = 0
+		}
+		pfn, got := f.Zone.AllocPage(o)
+		for !got && o > 0 {
+			o--
+			pfn, got = f.Zone.AllocPage(o)
+		}
+		if !got {
+			work += k.fileMajorWork(0, fresh)
+			return work, false
+		}
+		c := &Chunk{PFN: pfn, Order: o, Zone: f.Zone, File: f}
+		k.owners[pfn] = c
+		f.chunks = append(f.chunks, c)
+		f.residentPages += c.Pages()
+		fresh += k.markPopulated(pfn, c.Pages())
+		work += k.fileMajorWork(c.Pages(), 0)
+	}
+	if fresh > 0 {
+		work += k.VM.PopulatePages(fresh)
+	}
+	return work, true
+}
+
+func (k *Kernel) fileMajorWork(pages, fresh int64) sim.Duration {
+	w := sim.Duration(pages) * (k.Cost.GuestFaultPerPage + k.Cost.ZeroPerPage)
+	if fresh > 0 {
+		w += k.VM.PopulatePages(fresh)
+	}
+	return w
+}
+
+// DropFile evicts a file's pages from the page cache (used by tests and
+// partition teardown). The file must have no mappers.
+func (k *Kernel) DropFile(f *CachedFile) {
+	if f.mapCount != 0 {
+		panic(fmt.Sprintf("guestos: dropping mapped file %q (mapcount %d)", f.Name, f.mapCount))
+	}
+	for _, c := range f.chunks {
+		delete(k.owners, c.PFN)
+		c.Zone.FreePage(c.PFN, c.Order)
+	}
+	f.chunks = nil
+	f.residentPages = 0
+	delete(k.files, f.Name)
+}
+
+// --- population (EPT) tracking ---
+
+// markPopulated sets the populated bit for each page of the chunk and
+// returns how many were newly populated (needing a nested fault).
+func (k *Kernel) markPopulated(pfn mem.PFN, pages int64) int64 {
+	var fresh int64
+	for i := int64(0); i < pages; i++ {
+		if k.populated.set(pfn + i) {
+			fresh++
+		}
+	}
+	return fresh
+}
+
+// PopulatedInRange counts host-backed pages in [start, start+count).
+func (k *Kernel) PopulatedInRange(start mem.PFN, count int64) int64 {
+	var n int64
+	for i := int64(0); i < count; i++ {
+		if k.populated.get(start + i) {
+			n++
+		}
+	}
+	return n
+}
+
+// ReleaseRange clears population state for an unplugged range and
+// returns the host frames released.
+func (k *Kernel) ReleaseRange(start mem.PFN, count int64) int64 {
+	var n int64
+	for i := int64(0); i < count; i++ {
+		if k.populated.clear(start + i) {
+			n++
+		}
+	}
+	k.VM.ReleasePages(n)
+	return n
+}
+
+// --- migration support for the offline path ---
+
+// ChunksInRange returns the allocated chunks whose head lies inside
+// [start, start+count), in ascending address order.
+func (k *Kernel) ChunksInRange(start mem.PFN, count int64) []*Chunk {
+	var out []*Chunk
+	for pfn := start; pfn < start+count; {
+		if c, ok := k.owners[pfn]; ok {
+			out = append(out, c)
+			pfn += c.Pages()
+			continue
+		}
+		pfn++
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PFN < out[j].PFN })
+	return out
+}
+
+// MigrateChunk moves a chunk to a freshly allocated target in its zone
+// (the source block must already be isolated so the allocator cannot
+// hand back pages inside it). It returns the pages copied plus any
+// extra guest latency from nested faults on unbacked target pages; ok
+// is false when no target memory exists, which aborts the offline.
+func (k *Kernel) MigrateChunk(c *Chunk) (pages int64, extra sim.Duration, ok bool) {
+	dst, got := c.Zone.AllocPage(c.Order)
+	if !got {
+		return 0, 0, false
+	}
+	delete(k.owners, c.PFN)
+	c.PFN = dst
+	k.owners[dst] = c
+	if fresh := k.markPopulated(dst, c.Pages()); fresh > 0 {
+		extra = k.VM.PopulatePages(fresh)
+	}
+	return c.Pages(), extra, true
+}
+
+// AllocReserved grabs pages of free memory for p without touching them
+// — the balloon driver's reservation path: no zeroing, no population,
+// no fault cost. It allocates greedily at the largest orders available
+// and returns the chunks it reserved and how many pages they total
+// (bounded by free memory).
+func (k *Kernel) AllocReserved(p *Process, pages int64) (chunks []*Chunk, got int64) {
+	zone := k.anonZone(p)
+	for got < pages {
+		o := HugeOrder
+		if remaining := pages - got; remaining < 1<<HugeOrder {
+			o = 0
+			for int64(1)<<(o+1) <= remaining {
+				o++
+			}
+		}
+		pfn, ok := zone.AllocPage(o)
+		for !ok && o > 0 {
+			o--
+			pfn, ok = zone.AllocPage(o)
+		}
+		if !ok {
+			break
+		}
+		c := &Chunk{PFN: pfn, Order: o, Zone: zone, Proc: p}
+		k.owners[pfn] = c
+		p.anonChunks = append(p.anonChunks, c)
+		p.anonPages += c.Pages()
+		chunks = append(chunks, c)
+		got += c.Pages()
+	}
+	return chunks, got
+}
+
+// ReleaseChunkFrames releases the host frames backing a chunk's pages
+// (madvise after a balloon report) and returns how many were released.
+func (k *Kernel) ReleaseChunkFrames(c *Chunk) int64 {
+	return k.ReleaseRange(c.PFN, c.Pages())
+}
+
+// ReturnIsolatedGaps aborts an offline attempt on an isolated block:
+// every page in [start, start+count) that is not covered by an
+// allocated chunk goes back to the zone's allocator. It returns the
+// pages re-freed.
+func (k *Kernel) ReturnIsolatedGaps(z *mem.Zone, start mem.PFN, count int64) int64 {
+	var returned int64
+	gapStart := start
+	pfn := start
+	flush := func(end mem.PFN) {
+		if end > gapStart {
+			z.FreePageRange(gapStart, end-gapStart)
+			returned += end - gapStart
+		}
+	}
+	for pfn < start+count {
+		if c, ok := k.owners[pfn]; ok {
+			flush(pfn)
+			pfn += c.Pages()
+			gapStart = pfn
+			continue
+		}
+		pfn++
+	}
+	flush(start + count)
+	return returned
+}
+
+// --- accounting ---
+
+// AllocatedPages returns guest-allocated pages across all zones — the
+// guest's view of memory usage (Figure 1, guest line).
+func (k *Kernel) AllocatedPages() int64 {
+	var n int64
+	for _, z := range k.zones {
+		n += z.NrAllocated()
+	}
+	return n
+}
+
+// OnlinePages returns online pages across all zones.
+func (k *Kernel) OnlinePages() int64 {
+	var n int64
+	for _, z := range k.zones {
+		n += z.NrOnline()
+	}
+	return n
+}
+
+// CheckInvariants validates cross-layer consistency; O(total span), for
+// tests.
+func (k *Kernel) CheckInvariants() error {
+	for _, z := range k.zones {
+		if err := z.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	var owned int64
+	for pfn, c := range k.owners {
+		if c.PFN != pfn {
+			return fmt.Errorf("rmap key %d != chunk head %d", pfn, c.PFN)
+		}
+		if !c.Zone.Contains(pfn) {
+			return fmt.Errorf("chunk %d outside its zone %q", pfn, c.Zone.Name)
+		}
+		owned += c.Pages()
+	}
+	var allocated int64
+	for _, z := range k.zones {
+		allocated += z.NrAllocated()
+	}
+	if owned != allocated {
+		return fmt.Errorf("rmap covers %d pages, zones report %d allocated", owned, allocated)
+	}
+	return nil
+}
+
+// --- bitset ---
+
+type bitset struct{ words []uint64 }
+
+func (b *bitset) grow(n int64) {
+	need := int((n + 63) / 64)
+	for len(b.words) < need {
+		b.words = append(b.words, 0)
+	}
+}
+
+// set sets bit i, reporting whether it was previously clear.
+func (b *bitset) set(i int64) bool {
+	w, m := i/64, uint64(1)<<(i%64)
+	if b.words[w]&m != 0 {
+		return false
+	}
+	b.words[w] |= m
+	return true
+}
+
+// clear clears bit i, reporting whether it was previously set.
+func (b *bitset) clear(i int64) bool {
+	w, m := i/64, uint64(1)<<(i%64)
+	if b.words[w]&m == 0 {
+		return false
+	}
+	b.words[w] &^= m
+	return true
+}
+
+func (b *bitset) get(i int64) bool {
+	return b.words[i/64]&(uint64(1)<<(i%64)) != 0
+}

@@ -1,0 +1,196 @@
+package guestos
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"squeezy/internal/costmodel"
+	"squeezy/internal/hostmem"
+	"squeezy/internal/mem"
+	"squeezy/internal/sim"
+	"squeezy/internal/units"
+	"squeezy/internal/vmm"
+)
+
+// TestLifecycleProperty drives a random sequence of spawn / touch /
+// free / fork / exit / file operations and checks the cross-layer
+// invariants after every few steps: rmap coverage equals zone
+// accounting, populated never exceeds committed, anonymous memory never
+// leaves an assigned zone.
+func TestLifecycleProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0xabc))
+		s := sim.NewScheduler()
+		vm := vmm.New("prop", s, costmodel.Default(), hostmem.New(0), 4)
+		k := NewKernel(vm, Config{
+			BootBytes:           units.BlockSize,
+			MovableBytes:        4 * units.BlockSize,
+			KernelResidentBytes: 8 * units.MiB,
+		})
+		k.OnlineAllMovable()
+		part := k.AddZone("part", mem.ZoneSqueezyPrivate, 2*units.BlockSize)
+		vm.Commit(2 * units.PagesPerBlock)
+		part.OnlineBlock(0)
+		part.OnlineBlock(1)
+
+		var procs []*Process
+		for step := 0; step < 300; step++ {
+			switch op := rng.IntN(10); {
+			case op < 3: // spawn, sometimes confined
+				p := k.Spawn("p")
+				if rng.IntN(3) == 0 {
+					p.AssignedZone = part
+				}
+				procs = append(procs, p)
+			case op < 6 && len(procs) > 0: // touch
+				p := procs[rng.IntN(len(procs))]
+				bytes := int64(rng.IntN(16)+1) * units.MiB
+				order := 0
+				if rng.IntN(2) == 0 {
+					order = HugeOrder
+				}
+				k.TouchAnon(p, bytes, order) // may fail under pressure; fine
+			case op < 7 && len(procs) > 0: // partial free
+				p := procs[rng.IntN(len(procs))]
+				k.FreeAnon(p, int64(rng.IntN(8)+1)*units.MiB)
+			case op < 8 && len(procs) > 0: // fork
+				p := procs[rng.IntN(len(procs))]
+				procs = append(procs, k.Fork(p, "child"))
+			case op < 9 && len(procs) > 0: // exit
+				i := rng.IntN(len(procs))
+				k.Exit(procs[i])
+				procs = append(procs[:i], procs[i+1:]...)
+			default: // file touch
+				if len(procs) == 0 {
+					continue
+				}
+				p := procs[rng.IntN(len(procs))]
+				f := k.File("shared", 64*units.MiB)
+				k.TouchFile(p, f, int64(rng.IntN(32)+1)*units.MiB)
+			}
+			if step%25 == 0 {
+				if err := k.CheckInvariants(); err != nil {
+					t.Logf("invariant broken at step %d: %v", step, err)
+					return false
+				}
+				if vm.PopulatedPages() > vm.CommittedPages() {
+					return false
+				}
+			}
+		}
+		// Confinement: every anon chunk of a confined process is in part.
+		for _, p := range procs {
+			if p.AssignedZone != part {
+				continue
+			}
+			for _, c := range p.anonChunks {
+				if c.Zone != part {
+					return false
+				}
+			}
+		}
+		// Drain everything; zones must return to empty (files may stay).
+		for _, p := range procs {
+			k.Exit(p)
+		}
+		return k.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOfflineUnderLoadProperty isolates/migrates random blocks while
+// processes keep their memory: after each offline, every process still
+// owns exactly the pages it touched and the kernel invariants hold.
+func TestOfflineUnderLoadProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0xdef))
+		s := sim.NewScheduler()
+		vm := vmm.New("prop", s, costmodel.Default(), hostmem.New(0), 4)
+		k := NewKernel(vm, Config{
+			BootBytes:           units.BlockSize,
+			MovableBytes:        8 * units.BlockSize,
+			KernelResidentBytes: 8 * units.MiB,
+		})
+		k.OnlineAllMovable()
+		k.ScrambleFreeLists(k.Movable, rng)
+
+		var procs []*Process
+		var want []int64
+		for i := 0; i < 4; i++ {
+			p := k.Spawn("p")
+			bytes := int64(rng.IntN(128)+32) * units.MiB
+			if _, ok := k.TouchAnon(p, bytes, HugeOrder); !ok {
+				return true // overloaded config; skip
+			}
+			procs = append(procs, p)
+			want = append(want, p.AnonPages())
+		}
+
+		// Try to offline up to 3 random online blocks.
+		offlined := 0
+		for attempts := 0; attempts < 10 && offlined < 3; attempts++ {
+			online := k.Movable.OnlineBlocks()
+			if len(online) == 0 {
+				break
+			}
+			b := online[rng.IntN(len(online))]
+			k.Movable.IsolateBlock(b)
+			start, count := k.Movable.BlockRange(b)
+			ok := true
+			for _, c := range k.ChunksInRange(start, count) {
+				if _, _, migrated := k.MigrateChunk(c); !migrated {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				k.ReturnIsolatedGaps(k.Movable, start, count)
+				continue
+			}
+			k.Movable.FinishOffline(b)
+			k.ReleaseRange(start, count)
+			offlined++
+		}
+
+		for i, p := range procs {
+			if p.AnonPages() != want[i] {
+				return false
+			}
+		}
+		return k.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScrambleConservesMemory(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		s := sim.NewScheduler()
+		vm := vmm.New("prop", s, costmodel.Default(), hostmem.New(0), 4)
+		k := NewKernel(vm, Config{
+			BootBytes:           units.BlockSize,
+			MovableBytes:        4 * units.BlockSize,
+			KernelResidentBytes: 8 * units.MiB,
+		})
+		k.OnlineAllMovable()
+		p := k.Spawn("p")
+		k.TouchAnon(p, 100*units.MiB, HugeOrder)
+		freeBefore := k.Movable.NrFree()
+		popBefore := vm.PopulatedPages()
+		k.ScrambleFreeLists(k.Movable, rng)
+		// Scrambling reorders free lists but conserves free pages,
+		// allocated pages, and host population.
+		return k.Movable.NrFree() == freeBefore &&
+			vm.PopulatedPages() == popBefore &&
+			p.AnonPages() == units.BytesToPages(100*units.MiB) &&
+			k.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

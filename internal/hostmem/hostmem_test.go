@@ -1,0 +1,82 @@
+package hostmem
+
+import (
+	"testing"
+
+	"squeezy/internal/units"
+)
+
+func TestUnlimitedHost(t *testing.T) {
+	h := New(0)
+	if !h.TryCommit(1 << 40) {
+		t.Fatal("unlimited host refused commit")
+	}
+	if h.FreeCommitPages() <= 0 {
+		t.Fatal("unlimited host reports no free pages")
+	}
+}
+
+func TestCommitBudget(t *testing.T) {
+	h := New(1 * units.GiB)
+	pages := units.BytesToPages(1 * units.GiB)
+	if !h.TryCommit(pages) {
+		t.Fatal("commit within capacity failed")
+	}
+	if h.TryCommit(1) {
+		t.Fatal("commit beyond capacity succeeded")
+	}
+	if h.FreeCommitPages() != 0 {
+		t.Fatalf("FreeCommitPages = %d", h.FreeCommitPages())
+	}
+	h.Uncommit(pages / 2)
+	if !h.TryCommit(pages / 4) {
+		t.Fatal("commit after uncommit failed")
+	}
+}
+
+func TestPopulateRelease(t *testing.T) {
+	h := New(1 * units.GiB)
+	h.TryCommit(1000)
+	h.Populate(600)
+	if h.PopulatedPages() != 600 {
+		t.Fatalf("PopulatedPages = %d", h.PopulatedPages())
+	}
+	h.Release(200)
+	if h.PopulatedPages() != 400 {
+		t.Fatalf("PopulatedPages = %d", h.PopulatedPages())
+	}
+}
+
+func TestPopulateBeyondCommitPanics(t *testing.T) {
+	h := New(1 * units.GiB)
+	h.TryCommit(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.Populate(101)
+}
+
+func TestReleaseBeyondPopulatedPanics(t *testing.T) {
+	h := New(0)
+	h.TryCommit(10)
+	h.Populate(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.Release(6)
+}
+
+func TestUncommitTooMuchPanics(t *testing.T) {
+	h := New(0)
+	h.TryCommit(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.Uncommit(11)
+}

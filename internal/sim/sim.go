@@ -1,0 +1,226 @@
+// Package sim provides the virtual clock and deterministic discrete-event
+// scheduler that drive every experiment in this repository.
+//
+// All simulated latencies — page migrations, VM exits, function
+// executions, keep-alive timers — are expressed in virtual nanoseconds
+// and ordered through a single Scheduler. Events that share a timestamp
+// fire in insertion order, so a run is a pure function of its inputs and
+// seed: two runs with identical inputs produce identical outputs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds returns the duration as a floating-point number of
+// milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// String formats the duration with an adaptive unit.
+func (d Duration) String() string {
+	abs := d
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case abs >= Millisecond:
+		return fmt.Sprintf("%.3fms", d.Milliseconds())
+	case abs >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(d)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// Seconds returns the time as a floating-point number of seconds since
+// simulation start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Add returns the time advanced by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Event is a scheduled callback. Cancel prevents a pending event from
+// firing; cancelling an already-fired or already-cancelled event is a
+// no-op.
+type Event struct {
+	when     Time
+	seq      uint64
+	index    int // heap index, -1 when not queued
+	fn       func()
+	canceled bool
+}
+
+// When returns the virtual time at which the event is (or was) scheduled
+// to fire.
+func (e *Event) When() Time { return e.when }
+
+// Cancel marks the event so it will not fire. Safe to call repeatedly.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel has been called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic discrete-event scheduler over virtual
+// time. The zero value is ready to use. Scheduler is not safe for
+// concurrent use; the simulation is single-threaded by design.
+type Scheduler struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	fired  uint64
+	inStep bool
+}
+
+// NewScheduler returns an empty scheduler at time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Len returns the number of pending (possibly cancelled) events.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// Fired returns the total number of events that have fired.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: that is always a simulation bug, not a recoverable
+// condition.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	e := &Event{when: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d is
+// clamped to zero.
+func (s *Scheduler) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Step fires the earliest pending event, advancing the clock to its
+// timestamp. It returns false if no events remain. Cancelled events are
+// discarded without firing.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.when
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires all events with timestamps <= t, then advances the
+// clock to exactly t. Events scheduled after t remain pending.
+func (s *Scheduler) RunUntil(t Time) {
+	for {
+		e := s.peek()
+		if e == nil || e.when > t {
+			break
+		}
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// RunFor runs the simulation for d nanoseconds of virtual time.
+func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+func (s *Scheduler) peek() *Event {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if !e.canceled {
+			return e
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}
+
+// NextEventTime returns the timestamp of the earliest pending event and
+// true, or zero and false if the queue is empty.
+func (s *Scheduler) NextEventTime() (Time, bool) {
+	e := s.peek()
+	if e == nil {
+		return 0, false
+	}
+	return e.when, true
+}

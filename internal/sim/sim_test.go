@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", s.Now())
+	}
+	if s.Fired() != 3 {
+		t.Fatalf("fired = %d, want 3", s.Fired())
+	}
+}
+
+func TestSameTimestampFIFO(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(100, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-timestamp events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	e := s.At(10, func() { fired = true })
+	e.Cancel()
+	if !e.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Clock does not advance past a cancelled event's time unless asked.
+	if s.Now() != 0 {
+		t.Fatalf("clock advanced to %d by cancelled event", s.Now())
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	var trace []Time
+	s.After(5, func() {
+		trace = append(trace, s.Now())
+		s.After(7, func() {
+			trace = append(trace, s.Now())
+		})
+	})
+	s.Run()
+	if len(trace) != 2 || trace[0] != 5 || trace[1] != 12 {
+		t.Fatalf("nested scheduling trace = %v", trace)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	for _, ts := range []Time{10, 20, 30, 40} {
+		ts := ts
+		s.At(ts, func() { fired = append(fired, ts) })
+	}
+	s.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(25) fired %v", fired)
+	}
+	if s.Now() != 25 {
+		t.Fatalf("clock = %d, want 25", s.Now())
+	}
+	s.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("RunUntil(100) fired %v", fired)
+	}
+	if s.Now() != 100 {
+		t.Fatalf("clock = %d, want 100", s.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		s.After(10, tick)
+	}
+	s.After(10, tick)
+	s.RunFor(105)
+	if n != 10 {
+		t.Fatalf("ticks = %d, want 10", n)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(50, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	s.At(10, func() {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	s := NewScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil callback")
+		}
+	}()
+	s.At(10, nil)
+}
+
+func TestNextEventTime(t *testing.T) {
+	s := NewScheduler()
+	if _, ok := s.NextEventTime(); ok {
+		t.Fatal("NextEventTime on empty queue reported an event")
+	}
+	e := s.At(42, func() {})
+	if ts, ok := s.NextEventTime(); !ok || ts != 42 {
+		t.Fatalf("NextEventTime = %d,%v", ts, ok)
+	}
+	e.Cancel()
+	if _, ok := s.NextEventTime(); ok {
+		t.Fatal("NextEventTime reported a cancelled event")
+	}
+}
+
+// Property: regardless of insertion order, events fire sorted by
+// timestamp, and ties fire in insertion order.
+func TestOrderingProperty(t *testing.T) {
+	f := func(seed uint64, raw []uint16) bool {
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		rng := rand.New(rand.NewPCG(seed, 1))
+		s := NewScheduler()
+		type rec struct {
+			when Time
+			seq  int
+		}
+		var fired []rec
+		for i, v := range raw {
+			when := Time(v)
+			i := i
+			s.At(when, func() { fired = append(fired, rec{when, i}) })
+		}
+		_ = rng
+		s.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		ok := sort.SliceIsSorted(fired, func(a, b int) bool {
+			if fired[a].when != fired[b].when {
+				return fired[a].when < fired[b].when
+			}
+			return fired[a].seq < fired[b].seq
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000µs"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	ts := Time(5 * Second)
+	if ts.Add(Second) != Time(6*Second) {
+		t.Error("Add")
+	}
+	if ts.Sub(Time(2*Second)) != Duration(3*Second) {
+		t.Error("Sub")
+	}
+	if ts.Seconds() != 5 {
+		t.Error("Seconds")
+	}
+}

@@ -1,0 +1,257 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment drivers: latency samples with percentiles, time series,
+// geometric means, and cost breakdowns matching the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample accumulates float64 observations and answers order-statistic
+// queries. The zero value is an empty sample.
+type Sample struct {
+	xs     []float64
+	sorted bool
+	sum    float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) {
+	s.xs = append(s.xs, v)
+	s.sorted = false
+	s.sum += v
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Sum returns the sum of all observations.
+func (s *Sample) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.xs))
+}
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[0]
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[len(s.xs)-1]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. It returns 0 for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.Min()
+	}
+	if p >= 100 {
+		return s.Max()
+	}
+	s.ensureSorted()
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// P50 returns the median.
+func (s *Sample) P50() float64 { return s.Percentile(50) }
+
+// P99 returns the 99th percentile.
+func (s *Sample) P99() float64 { return s.Percentile(99) }
+
+// Stddev returns the population standard deviation, or 0 for fewer than
+// two observations.
+func (s *Sample) Stddev() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Values returns a copy of the observations in insertion order is not
+// guaranteed; the slice may be sorted.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Geomean returns the geometric mean of xs. Non-positive values and an
+// empty slice yield 0, matching the "undefined" convention used when a
+// speedup table contains a zero entry.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// TimeSeries is an append-only series of (time, value) points sampled
+// during a simulation, e.g. memory utilization over time.
+type TimeSeries struct {
+	Name   string
+	Times  []float64 // seconds
+	Values []float64
+}
+
+// Append adds a point. Times must be non-decreasing; Append panics
+// otherwise because an out-of-order sample is a simulation bug.
+func (ts *TimeSeries) Append(t, v float64) {
+	if n := len(ts.Times); n > 0 && t < ts.Times[n-1] {
+		panic(fmt.Sprintf("stats: out-of-order time series point %v after %v", t, ts.Times[n-1]))
+	}
+	ts.Times = append(ts.Times, t)
+	ts.Values = append(ts.Values, v)
+}
+
+// Len returns the number of points.
+func (ts *TimeSeries) Len() int { return len(ts.Times) }
+
+// Max returns the maximum value, or 0 for an empty series.
+func (ts *TimeSeries) Max() float64 {
+	m := 0.0
+	for i, v := range ts.Values {
+		if i == 0 || v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the time-unweighted mean value, or 0 for an empty series.
+func (ts *TimeSeries) Mean() float64 {
+	if len(ts.Values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range ts.Values {
+		s += v
+	}
+	return s / float64(len(ts.Values))
+}
+
+// Integral returns the time integral of the series (trapezoidal rule),
+// in value·seconds — e.g. GiB·s for a memory-usage series in GiB.
+func (ts *TimeSeries) Integral() float64 {
+	var area float64
+	for i := 1; i < len(ts.Times); i++ {
+		dt := ts.Times[i] - ts.Times[i-1]
+		area += dt * (ts.Values[i] + ts.Values[i-1]) / 2
+	}
+	return area
+}
+
+// Breakdown is a labelled decomposition of a total cost, e.g. the
+// zeroing / migration / VM-exit / rest split of Figure 5.
+type Breakdown struct {
+	Labels []string
+	Parts  []float64
+}
+
+// NewBreakdown creates a breakdown with the given component labels, all
+// parts zero.
+func NewBreakdown(labels ...string) *Breakdown {
+	return &Breakdown{Labels: labels, Parts: make([]float64, len(labels))}
+}
+
+// Add accumulates v into the named component; it panics on an unknown
+// label (a typo in an experiment driver should fail loudly).
+func (b *Breakdown) Add(label string, v float64) {
+	for i, l := range b.Labels {
+		if l == label {
+			b.Parts[i] += v
+			return
+		}
+	}
+	panic("stats: unknown breakdown label " + label)
+}
+
+// Get returns the accumulated value of the named component.
+func (b *Breakdown) Get(label string) float64 {
+	for i, l := range b.Labels {
+		if l == label {
+			return b.Parts[i]
+		}
+	}
+	panic("stats: unknown breakdown label " + label)
+}
+
+// Total returns the sum of all components.
+func (b *Breakdown) Total() float64 {
+	var s float64
+	for _, p := range b.Parts {
+		s += p
+	}
+	return s
+}
+
+// Fraction returns the named component's share of the total, or 0 when
+// the total is zero.
+func (b *Breakdown) Fraction(label string) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return b.Get(label) / t
+}
+
+// String renders the breakdown as "label=value(pct%)" pairs.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	for i, l := range b.Labels {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%s=%.2f(%.0f%%)", l, b.Parts[i], 100*b.Fraction(l))
+	}
+	return sb.String()
+}

@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Sum() != 15 {
+		t.Fatalf("Sum = %v", s.Sum())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.P50() != 3 {
+		t.Fatalf("P50 = %v", s.P50())
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	s.Add(20)
+	if got := s.Percentile(50); got != 15 {
+		t.Fatalf("P50 of {10,20} = %v, want 15", got)
+	}
+	if got := s.Percentile(0); got != 10 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 20 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := s.Percentile(25); got != 12.5 {
+		t.Fatalf("P25 = %v, want 12.5", got)
+	}
+}
+
+func TestAddAfterQuery(t *testing.T) {
+	var s Sample
+	s.Add(2)
+	s.Add(1)
+	_ = s.P50() // forces sort
+	s.Add(0)    // must re-sort on next query
+	if s.Min() != 0 {
+		t.Fatalf("Min after late Add = %v", s.Min())
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		var s Sample
+		for i := 0; i < int(n)+1; i++ {
+			s.Add(rng.Float64() * 1000)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := s.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return s.Min() <= s.P50() && s.P50() <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	var s Sample
+	s.Add(2)
+	if s.Stddev() != 0 {
+		t.Fatal("stddev of single sample should be 0")
+	}
+	s.Add(4)
+	if got := s.Stddev(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Stddev = %v, want 1", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("Geomean(2,8) = %v, want 4", got)
+	}
+	if Geomean(nil) != 0 {
+		t.Fatal("Geomean(nil) != 0")
+	}
+	if Geomean([]float64{1, 0, 3}) != 0 {
+		t.Fatal("Geomean with zero element should be 0")
+	}
+	if Geomean([]float64{-1}) != 0 {
+		t.Fatal("Geomean with negative element should be 0")
+	}
+}
+
+func TestGeomeanScaleInvariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		xs := make([]float64, 5)
+		for i := range xs {
+			xs[i] = rng.Float64() + 0.1
+		}
+		g := Geomean(xs)
+		scaled := make([]float64, len(xs))
+		for i := range xs {
+			scaled[i] = xs[i] * 2
+		}
+		return math.Abs(Geomean(scaled)-2*g) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	var ts TimeSeries
+	ts.Append(0, 0)
+	ts.Append(1, 2)
+	ts.Append(3, 2)
+	if ts.Len() != 3 {
+		t.Fatalf("Len = %d", ts.Len())
+	}
+	if ts.Max() != 2 {
+		t.Fatalf("Max = %v", ts.Max())
+	}
+	// Integral: trapezoid 0..1 area 1, 1..3 area 4.
+	if got := ts.Integral(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Integral = %v, want 5", got)
+	}
+	if got := ts.Mean(); math.Abs(got-4.0/3) > 1e-12 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestTimeSeriesOutOfOrderPanics(t *testing.T) {
+	var ts TimeSeries
+	ts.Append(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-order append")
+		}
+	}()
+	ts.Append(4, 1)
+}
+
+func TestBreakdown(t *testing.T) {
+	b := NewBreakdown("zeroing", "migration", "vmexits", "rest")
+	b.Add("migration", 61.5)
+	b.Add("zeroing", 24)
+	b.Add("vmexits", 4.5)
+	b.Add("rest", 10)
+	if got := b.Total(); got != 100 {
+		t.Fatalf("Total = %v", got)
+	}
+	if got := b.Fraction("migration"); math.Abs(got-0.615) > 1e-12 {
+		t.Fatalf("Fraction(migration) = %v", got)
+	}
+	if got := b.Get("zeroing"); got != 24 {
+		t.Fatalf("Get(zeroing) = %v", got)
+	}
+	if b.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestBreakdownUnknownLabelPanics(t *testing.T) {
+	b := NewBreakdown("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unknown label")
+		}
+	}()
+	b.Add("nope", 1)
+}
+
+func TestBreakdownFractionZeroTotal(t *testing.T) {
+	b := NewBreakdown("a", "b")
+	if b.Fraction("a") != 0 {
+		t.Fatal("Fraction with zero total should be 0")
+	}
+}

@@ -1,0 +1,223 @@
+// Package trace synthesizes FaaS invocation traces with the bursty,
+// heavy-tailed shape of the Azure Functions production traces the paper
+// replays (§6.2.1, [66, 83]), and provides the instance-churn analysis
+// behind Figure 2.
+//
+// The real traces are proprietary; the generator reproduces the
+// properties the experiments depend on: long quiet stretches at a low
+// base rate punctuated by bursts that force the runtime to scale
+// instance counts up and down by tens per minute.
+package trace
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"squeezy/internal/sim"
+)
+
+// Trace is a sorted sequence of invocation times for one function.
+type Trace struct {
+	Times []sim.Time
+}
+
+// Len returns the number of invocations.
+func (t *Trace) Len() int { return len(t.Times) }
+
+// BurstyConfig parameterizes the synthetic bursty generator.
+type BurstyConfig struct {
+	// Duration is the trace length.
+	Duration sim.Duration
+	// BaseRPS is the quiet-period request rate (requests/second).
+	BaseRPS float64
+	// BurstRPS is the in-burst request rate.
+	BurstRPS float64
+	// BurstLen is the mean burst duration.
+	BurstLen sim.Duration
+	// BurstGap is the mean quiet gap between bursts.
+	BurstGap sim.Duration
+}
+
+// GenBursty synthesizes a bursty Poisson-modulated trace. The same seed
+// always yields the same trace.
+func GenBursty(seed uint64, cfg BurstyConfig) *Trace {
+	rng := rand.New(rand.NewPCG(seed, 0x5eed))
+	var times []sim.Time
+	now := sim.Time(0)
+	end := sim.Time(cfg.Duration)
+	inBurst := false
+	phaseEnd := now.Add(expDur(rng, cfg.BurstGap))
+	for now < end {
+		rate := cfg.BaseRPS
+		if inBurst {
+			rate = cfg.BurstRPS
+		}
+		var next sim.Time
+		if rate <= 0 {
+			next = end
+		} else {
+			gap := sim.Duration(rng.ExpFloat64() / rate * float64(sim.Second))
+			if gap < sim.Microsecond {
+				gap = sim.Microsecond
+			}
+			next = now.Add(gap)
+		}
+		if next >= phaseEnd {
+			now = phaseEnd
+			inBurst = !inBurst
+			if inBurst {
+				phaseEnd = now.Add(expDur(rng, cfg.BurstLen))
+			} else {
+				phaseEnd = now.Add(expDur(rng, cfg.BurstGap))
+			}
+			continue
+		}
+		now = next
+		if now < end {
+			times = append(times, now)
+		}
+	}
+	return &Trace{Times: times}
+}
+
+func expDur(rng *rand.Rand, mean sim.Duration) sim.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	d := sim.Duration(rng.ExpFloat64() * float64(mean))
+	if d < sim.Millisecond {
+		d = sim.Millisecond
+	}
+	return d
+}
+
+// GenTopTen synthesizes invocation traces shaped like the 10 most
+// popular functions of the Azure production traces over the given
+// duration: very high aggregate rates with per-function bursts, driving
+// the thousands of instance creations and evictions per minute that
+// Figure 2 reports.
+func GenTopTen(seed uint64, duration sim.Duration) []*Trace {
+	traces := make([]*Trace, 10)
+	for i := range traces {
+		// Popularity decays across the top-10 ranks; the busiest
+		// functions see hundreds of requests per second in bursts.
+		rank := float64(i + 1)
+		traces[i] = GenBursty(seed+uint64(i)*101, BurstyConfig{
+			Duration: duration,
+			BaseRPS:  12 / rank,
+			BurstRPS: 220 / rank,
+			BurstLen: 25 * sim.Second,
+			BurstGap: 70 * sim.Second,
+		})
+	}
+	return traces
+}
+
+// Merge combines traces into one sorted stream, tagging each invocation
+// with its source index.
+type TaggedInvocation struct {
+	T    sim.Time
+	Func int
+}
+
+// Merge flattens traces into a single time-ordered invocation stream.
+func Merge(traces []*Trace) []TaggedInvocation {
+	var out []TaggedInvocation
+	for fi, tr := range traces {
+		for _, t := range tr.Times {
+			out = append(out, TaggedInvocation{T: t, Func: fi})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// ChurnPoint is one minute of Figure 2: instances created and evicted.
+type ChurnPoint struct {
+	Minute    int
+	Creations int
+	Evictions int
+}
+
+// InstanceChurn replays a trace against a simple instance pool — reuse
+// an idle instance when one exists, create one otherwise, evict after
+// keepAlive of idleness — and reports per-minute creations and
+// evictions, the analysis behind Figure 2.
+func InstanceChurn(tr *Trace, execTime, keepAlive sim.Duration, duration sim.Duration) []ChurnPoint {
+	minutes := int((duration + sim.Minute - 1) / sim.Minute)
+	points := make([]ChurnPoint, minutes)
+	for i := range points {
+		points[i].Minute = i
+	}
+	type inst struct{ freeAt sim.Time }
+	var idle []inst // sorted by freeAt ascending
+
+	evictBefore := func(now sim.Time) {
+		keep := idle[:0]
+		for _, in := range idle {
+			expiry := in.freeAt.Add(keepAlive)
+			if expiry <= now {
+				m := int(sim.Duration(expiry) / sim.Minute)
+				if m >= 0 && m < minutes {
+					points[m].Evictions++
+				}
+				continue
+			}
+			keep = append(keep, in)
+		}
+		idle = keep
+	}
+
+	for _, t := range tr.Times {
+		evictBefore(t)
+		m := int(sim.Duration(t) / sim.Minute)
+		if m >= minutes {
+			break
+		}
+		// Reuse the most-recently-freed idle instance that is actually
+		// free (LIFO keeps the warm pool small, like keep-alive reuse).
+		reused := false
+		for i := len(idle) - 1; i >= 0; i-- {
+			if idle[i].freeAt <= t {
+				idle = append(idle[:i], idle[i+1:]...)
+				reused = true
+				break
+			}
+		}
+		if !reused {
+			points[m].Creations++
+		}
+		idle = append(idle, inst{freeAt: t.Add(execTime)})
+		sort.Slice(idle, func(i, j int) bool { return idle[i].freeAt < idle[j].freeAt })
+	}
+	evictBefore(sim.Time(duration + sim.Duration(keepAlive)))
+	return points
+}
+
+// PeakConcurrency returns the maximum number of simultaneously busy
+// instances a trace needs given the execution time — used to calibrate
+// the concurrency factor N per VM (§6.2).
+func PeakConcurrency(tr *Trace, execTime sim.Duration) int {
+	type ev struct {
+		t     sim.Time
+		delta int
+	}
+	evs := make([]ev, 0, 2*len(tr.Times))
+	for _, t := range tr.Times {
+		evs = append(evs, ev{t, +1}, ev{t.Add(execTime), -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		return evs[i].delta < evs[j].delta
+	})
+	cur, peak := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}

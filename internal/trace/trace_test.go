@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"testing"
+
+	"squeezy/internal/sim"
+)
+
+func TestGenBurstyDeterministic(t *testing.T) {
+	cfg := BurstyConfig{
+		Duration: 5 * sim.Minute, BaseRPS: 0.5, BurstRPS: 20,
+		BurstLen: 10 * sim.Second, BurstGap: 30 * sim.Second,
+	}
+	a := GenBursty(42, cfg)
+	b := GenBursty(42, cfg)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Times {
+		if a.Times[i] != b.Times[i] {
+			t.Fatalf("traces diverge at %d", i)
+		}
+	}
+	c := GenBursty(43, cfg)
+	if c.Len() == a.Len() {
+		same := true
+		for i := range a.Times {
+			if a.Times[i] != c.Times[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds yield identical traces")
+		}
+	}
+}
+
+func TestGenBurstySortedAndBounded(t *testing.T) {
+	tr := GenBursty(7, BurstyConfig{
+		Duration: 10 * sim.Minute, BaseRPS: 1, BurstRPS: 50,
+		BurstLen: 20 * sim.Second, BurstGap: 60 * sim.Second,
+	})
+	if tr.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	end := sim.Time(10 * sim.Minute)
+	for i, ts := range tr.Times {
+		if ts < 0 || ts >= end {
+			t.Fatalf("invocation %d at %v outside [0,%v)", i, ts, end)
+		}
+		if i > 0 && ts < tr.Times[i-1] {
+			t.Fatalf("trace not sorted at %d", i)
+		}
+	}
+}
+
+func TestBurstinessShape(t *testing.T) {
+	// Bursty traces must have per-10s rate spikes well above the base.
+	tr := GenBursty(11, BurstyConfig{
+		Duration: 20 * sim.Minute, BaseRPS: 0.2, BurstRPS: 30,
+		BurstLen: 15 * sim.Second, BurstGap: 60 * sim.Second,
+	})
+	buckets := make([]int, 20*6)
+	for _, ts := range tr.Times {
+		buckets[int(sim.Duration(ts)/(10*sim.Second))]++
+	}
+	maxB, quiet := 0, 0
+	for _, b := range buckets {
+		if b > maxB {
+			maxB = b
+		}
+		if b <= 4 {
+			quiet++
+		}
+	}
+	if maxB < 50 {
+		t.Fatalf("no burst found: max 10s bucket = %d", maxB)
+	}
+	if quiet < len(buckets)/4 {
+		t.Fatalf("no quiet periods: %d of %d buckets quiet", quiet, len(buckets))
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Trace{Times: []sim.Time{10, 30}}
+	b := &Trace{Times: []sim.Time{20}}
+	m := Merge([]*Trace{a, b})
+	if len(m) != 3 {
+		t.Fatalf("len = %d", len(m))
+	}
+	if m[0].T != 10 || m[0].Func != 0 || m[1].T != 20 || m[1].Func != 1 || m[2].T != 30 {
+		t.Fatalf("merge wrong: %+v", m)
+	}
+}
+
+func TestInstanceChurnReuse(t *testing.T) {
+	// Two invocations 1s apart with 100ms exec: the second reuses the
+	// idle instance.
+	tr := &Trace{Times: []sim.Time{0, sim.Time(sim.Second)}}
+	pts := InstanceChurn(tr, 100*sim.Millisecond, 5*sim.Minute, sim.Duration(sim.Minute))
+	creations := 0
+	for _, p := range pts {
+		creations += p.Creations
+	}
+	if creations != 1 {
+		t.Fatalf("creations = %d, want 1 (reuse)", creations)
+	}
+}
+
+func TestInstanceChurnConcurrent(t *testing.T) {
+	// Two simultaneous invocations need two instances.
+	tr := &Trace{Times: []sim.Time{0, 0}}
+	pts := InstanceChurn(tr, sim.Second, 5*sim.Minute, sim.Duration(sim.Minute))
+	if pts[0].Creations != 2 {
+		t.Fatalf("creations = %d, want 2", pts[0].Creations)
+	}
+}
+
+func TestInstanceChurnEviction(t *testing.T) {
+	tr := &Trace{Times: []sim.Time{0}}
+	pts := InstanceChurn(tr, sim.Second, sim.Duration(2*sim.Minute), sim.Duration(10*sim.Minute))
+	evictions, evMinute := 0, -1
+	for _, p := range pts {
+		if p.Evictions > 0 {
+			evictions += p.Evictions
+			evMinute = p.Minute
+		}
+	}
+	if evictions != 1 {
+		t.Fatalf("evictions = %d", evictions)
+	}
+	// Idle from t=1s, keep-alive 2min: eviction lands in minute 2.
+	if evMinute != 2 {
+		t.Fatalf("eviction minute = %d, want 2", evMinute)
+	}
+}
+
+func TestCreationsAndEvictionsBalance(t *testing.T) {
+	tr := GenBursty(3, BurstyConfig{
+		Duration: 10 * sim.Minute, BaseRPS: 0.5, BurstRPS: 25,
+		BurstLen: 10 * sim.Second, BurstGap: 45 * sim.Second,
+	})
+	pts := InstanceChurn(tr, 500*sim.Millisecond, sim.Duration(2*sim.Minute), sim.Duration(10*sim.Minute))
+	var created, evicted int
+	for _, p := range pts {
+		created += p.Creations
+		evicted += p.Evictions
+	}
+	if created == 0 {
+		t.Fatal("no creations")
+	}
+	// Evictions within the window never exceed creations, and the
+	// early-burst instances (idle > keep-alive before the window ends)
+	// must show up as evictions.
+	if evicted == 0 || evicted > created {
+		t.Fatalf("created %d, evicted %d", created, evicted)
+	}
+}
+
+func TestGenTopTenScale(t *testing.T) {
+	traces := GenTopTen(1, sim.Duration(2*sim.Minute))
+	if len(traces) != 10 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	// Rank 1 must be busier than rank 10.
+	if traces[0].Len() <= traces[9].Len() {
+		t.Fatalf("popularity not decaying: rank1=%d rank10=%d", traces[0].Len(), traces[9].Len())
+	}
+}
+
+func TestPeakConcurrency(t *testing.T) {
+	tr := &Trace{Times: []sim.Time{0, 10, 20, 1000}}
+	// exec 100ns: first three overlap.
+	if got := PeakConcurrency(tr, 100); got != 3 {
+		t.Fatalf("peak = %d, want 3", got)
+	}
+	if got := PeakConcurrency(tr, 5); got != 1 {
+		t.Fatalf("peak = %d, want 1", got)
+	}
+}

@@ -1,0 +1,86 @@
+// Package units provides byte-size constants, page/block geometry shared
+// by the whole simulator, and human-readable formatting helpers.
+//
+// The geometry mirrors x86-64 Linux: 4 KiB base pages, 2 MiB huge pages,
+// and 128 MiB hotplug memory blocks (the granularity at which virtio-mem
+// and the Linux memory hot(un)plug core add and remove memory).
+package units
+
+import "fmt"
+
+// Byte size constants.
+const (
+	KiB int64 = 1 << 10
+	MiB int64 = 1 << 20
+	GiB int64 = 1 << 30
+	TiB int64 = 1 << 40
+)
+
+// Page and block geometry (x86-64 Linux defaults).
+const (
+	// PageSize is the base page size (4 KiB).
+	PageSize int64 = 4 * KiB
+	// HugePageSize is the THP/PMD page size (2 MiB).
+	HugePageSize int64 = 2 * MiB
+	// BlockSize is the memory hotplug block size (128 MiB on x86-64).
+	BlockSize int64 = 128 * MiB
+	// PagesPerBlock is the number of base pages per hotplug block.
+	PagesPerBlock = BlockSize / PageSize // 32768
+	// PagesPerHugePage is the number of base pages per huge page.
+	PagesPerHugePage = HugePageSize / PageSize // 512
+)
+
+// BytesToPages converts a byte count to base pages, rounding up.
+func BytesToPages(b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (b + PageSize - 1) / PageSize
+}
+
+// PagesToBytes converts a base-page count to bytes.
+func PagesToBytes(p int64) int64 { return p * PageSize }
+
+// BytesToBlocks converts a byte count to hotplug blocks, rounding up.
+func BytesToBlocks(b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (b + BlockSize - 1) / BlockSize
+}
+
+// AlignUp rounds n up to the next multiple of align. align must be a
+// power of two.
+func AlignUp(n, align int64) int64 {
+	return (n + align - 1) &^ (align - 1)
+}
+
+// AlignDown rounds n down to the previous multiple of align. align must
+// be a power of two.
+func AlignDown(n, align int64) int64 {
+	return n &^ (align - 1)
+}
+
+// IsAligned reports whether n is a multiple of align (a power of two).
+func IsAligned(n, align int64) bool { return n&(align-1) == 0 }
+
+// HumanBytes formats a byte count with a binary unit suffix, e.g.
+// "512.0 MiB". Values below 1 KiB print as plain bytes.
+func HumanBytes(b int64) string {
+	abs := b
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= TiB:
+		return fmt.Sprintf("%.1f TiB", float64(b)/float64(TiB))
+	case abs >= GiB:
+		return fmt.Sprintf("%.1f GiB", float64(b)/float64(GiB))
+	case abs >= MiB:
+		return fmt.Sprintf("%.1f MiB", float64(b)/float64(MiB))
+	case abs >= KiB:
+		return fmt.Sprintf("%.1f KiB", float64(b)/float64(KiB))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

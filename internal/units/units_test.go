@@ -1,0 +1,115 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	if PagesPerBlock != 32768 {
+		t.Fatalf("PagesPerBlock = %d, want 32768", PagesPerBlock)
+	}
+	if PagesPerHugePage != 512 {
+		t.Fatalf("PagesPerHugePage = %d, want 512", PagesPerHugePage)
+	}
+	if BlockSize != 128*MiB {
+		t.Fatalf("BlockSize = %d, want 128 MiB", BlockSize)
+	}
+}
+
+func TestBytesToPages(t *testing.T) {
+	cases := []struct {
+		in, want int64
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 1},
+		{PageSize, 1},
+		{PageSize + 1, 2},
+		{2 * GiB, 524288},
+	}
+	for _, c := range cases {
+		if got := BytesToPages(c.in); got != c.want {
+			t.Errorf("BytesToPages(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBytesToBlocks(t *testing.T) {
+	cases := []struct {
+		in, want int64
+	}{
+		{0, 0},
+		{1, 1},
+		{BlockSize, 1},
+		{BlockSize + 1, 2},
+		{2 * GiB, 16},
+		{512 * MiB, 4},
+	}
+	for _, c := range cases {
+		if got := BytesToBlocks(c.in); got != c.want {
+			t.Errorf("BytesToBlocks(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAlign(t *testing.T) {
+	if got := AlignUp(1, 4096); got != 4096 {
+		t.Errorf("AlignUp(1,4096) = %d", got)
+	}
+	if got := AlignUp(4096, 4096); got != 4096 {
+		t.Errorf("AlignUp(4096,4096) = %d", got)
+	}
+	if got := AlignDown(4097, 4096); got != 4096 {
+		t.Errorf("AlignDown(4097,4096) = %d", got)
+	}
+	if !IsAligned(8192, 4096) || IsAligned(8193, 4096) {
+		t.Error("IsAligned misbehaves")
+	}
+}
+
+func TestAlignProperties(t *testing.T) {
+	f := func(n uint32) bool {
+		v := int64(n)
+		up := AlignUp(v, PageSize)
+		down := AlignDown(v, PageSize)
+		if !IsAligned(up, PageSize) || !IsAligned(down, PageSize) {
+			return false
+		}
+		if up < v || down > v {
+			return false
+		}
+		return up-down == 0 || up-down == PageSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPagesRoundTrip(t *testing.T) {
+	f := func(n uint16) bool {
+		b := PagesToBytes(int64(n))
+		return BytesToPages(b) == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{512, "512 B"},
+		{2 * KiB, "2.0 KiB"},
+		{512 * MiB, "512.0 MiB"},
+		{2 * GiB, "2.0 GiB"},
+		{3 * TiB, "3.0 TiB"},
+	}
+	for _, c := range cases {
+		if got := HumanBytes(c.in); got != c.want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

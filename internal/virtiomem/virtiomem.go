@@ -1,0 +1,244 @@
+// Package virtiomem models the virtio-mem paravirtualized memory device
+// and its vanilla Linux guest driver (Hildenbrand & Schulz, VEE'21) —
+// the state-of-the-art baseline Squeezy is measured against.
+//
+// Plugging onlines 128 MiB blocks into ZONE_MOVABLE. Unplugging is the
+// expensive path the paper dissects (§2.2): for each candidate block the
+// driver isolates the block's free pages, migrates every occupied page
+// to the remaining online memory (the dominant cost, ≈61.5%), zeroes the
+// pages being handed back when the kernel hardening knob is on (≈24%),
+// tears the block down, and notifies the hypervisor with a VM exit,
+// after which the host madvise()s the frames away.
+package virtiomem
+
+import (
+	"sort"
+
+	"squeezy/internal/guestos"
+	"squeezy/internal/sim"
+	"squeezy/internal/stats"
+	"squeezy/internal/units"
+	"squeezy/internal/vmm"
+)
+
+// CPU accounting classes.
+const (
+	GuestClass = "virtio-mem"
+	HostClass  = "virtio-mem-vmm"
+)
+
+// CandidatePolicy selects the order in which online blocks are
+// considered for offlining.
+type CandidatePolicy int
+
+const (
+	// EmptiestFirst tries the blocks with the fewest occupied pages
+	// first, minimizing migrations — the effective behaviour of the
+	// driver's retry logic.
+	EmptiestFirst CandidatePolicy = iota
+	// HighestFirst walks the device memory top-down regardless of
+	// occupancy, as a naive linear scan does (ablation).
+	HighestFirst
+)
+
+// UnplugResult reports what one unplug request achieved.
+type UnplugResult struct {
+	RequestedBytes int64
+	ReclaimedBytes int64
+	MigratedPages  int64
+	ZeroedPages    int64
+	// Breakdown is the wall-time split (milliseconds) across the
+	// Figure 5 buckets: zeroing, migration, vmexits, rest.
+	Breakdown *stats.Breakdown
+	// Latency is the total wall time of the request.
+	Latency sim.Duration
+}
+
+// Driver is the guest-side virtio-mem driver bound to one VM's movable
+// zone.
+type Driver struct {
+	K      *guestos.Kernel
+	Policy CandidatePolicy
+
+	// pending serializes requests: the device processes one command at
+	// a time.
+	busy    bool
+	pending []func()
+}
+
+// New creates a driver for the kernel's movable zone.
+func New(k *guestos.Kernel) *Driver {
+	if k.Movable == nil {
+		panic("virtiomem: kernel has no movable zone")
+	}
+	return &Driver{K: k}
+}
+
+// enqueue runs fn now if the device is idle, else after the current
+// command completes.
+func (d *Driver) enqueue(fn func()) {
+	if d.busy {
+		d.pending = append(d.pending, fn)
+		return
+	}
+	d.busy = true
+	fn()
+}
+
+func (d *Driver) finish() {
+	if len(d.pending) > 0 {
+		next := d.pending[0]
+		d.pending = d.pending[1:]
+		next()
+		return
+	}
+	d.busy = false
+}
+
+// PluggedBlocks returns the number of online movable blocks.
+func (d *Driver) PluggedBlocks() int { return len(d.K.Movable.OnlineBlocks()) }
+
+// Plug hot-adds and onlines enough blocks to cover bytes, bounded by
+// the zone span and the host commit budget. onDone receives the bytes
+// actually plugged after the (short) plug latency has elapsed.
+func (d *Driver) Plug(bytes int64, onDone func(plugged int64)) {
+	d.enqueue(func() {
+		vm := d.K.VM
+		want := units.BytesToBlocks(bytes)
+		var onlined int64
+		for i := 0; i < d.K.Movable.Blocks() && onlined < want; i++ {
+			if d.K.Movable.BlockIsOnline(i) {
+				continue
+			}
+			if !vm.Commit(units.PagesPerBlock) {
+				break
+			}
+			d.K.Movable.OnlineBlock(i)
+			onlined++
+		}
+		steps := []vmm.Step{
+			{Pool: vm.HostThreads, Work: vm.Cost.PlugHostFixed, Class: HostClass, Label: vmm.StepVMExits},
+			{Pool: vm.GuestReclaimPool(), Work: sim.Duration(onlined) * vm.Cost.OnlineMetaPerBlock, Class: GuestClass, Label: vmm.StepRest, Weight: vmm.KthreadWeight},
+		}
+		if onlined > 0 {
+			vm.CountExit("virtio-mem-plug", 1)
+		}
+		plugged := onlined * units.BlockSize
+		vmm.RunChain(vm.Sched, steps, func(_ *stats.Breakdown, _ sim.Duration) {
+			d.finish()
+			onDone(plugged)
+		})
+	})
+}
+
+// Unplug offlines and removes enough blocks to cover bytes, migrating
+// occupied pages out of candidate blocks. Blocks whose pages cannot be
+// migrated (no free target memory) are skipped; the request then
+// reclaims less than asked, as real virtio-mem does under pressure
+// (§6.2.2). onDone fires when the host has released the frames.
+func (d *Driver) Unplug(bytes int64, onDone func(UnplugResult)) {
+	d.enqueue(func() { d.unplug(bytes, onDone) })
+}
+
+func (d *Driver) unplug(bytes int64, onDone func(UnplugResult)) {
+	vm := d.K.VM
+	zone := d.K.Movable
+	want := units.BytesToBlocks(bytes)
+
+	candidates := zone.OnlineBlocks()
+	switch d.Policy {
+	case EmptiestFirst:
+		occ := make(map[int]int64, len(candidates))
+		for _, b := range candidates {
+			occ[b] = zone.OccupiedInBlock(b)
+		}
+		sort.SliceStable(candidates, func(i, j int) bool {
+			if occ[candidates[i]] != occ[candidates[j]] {
+				return occ[candidates[i]] < occ[candidates[j]]
+			}
+			return candidates[i] > candidates[j]
+		})
+	case HighestFirst:
+		sort.Sort(sort.Reverse(sort.IntSlice(candidates)))
+	}
+
+	var (
+		offlined      []int
+		migratedPages int64
+		zeroedPages   int64
+		migrateExtra  sim.Duration
+	)
+	for _, b := range candidates {
+		if int64(len(offlined)) >= want {
+			break
+		}
+		occupied := zone.IsolateBlock(b)
+		start, count := zone.BlockRange(b)
+		isolatedFree := count - occupied
+		chunks := d.K.ChunksInRange(start, count)
+		aborted := false
+		var blockMigrated int64
+		for _, c := range chunks {
+			pages, extra, ok := d.K.MigrateChunk(c)
+			if !ok {
+				aborted = true
+				break
+			}
+			blockMigrated += pages
+			migrateExtra += extra
+		}
+		if aborted {
+			// Out of migration targets: put the block back together.
+			// Pages already migrated stay migrated (their new copies
+			// live elsewhere); the rest of the block is re-onlined.
+			d.K.ReturnIsolatedGaps(zone, start, count)
+			migratedPages += blockMigrated
+			if vm.Cost.ZeroOnUnplug {
+				zeroedPages += blockMigrated // zero-on-alloc of targets
+			}
+			continue
+		}
+		migratedPages += blockMigrated
+		if vm.Cost.ZeroOnUnplug {
+			// init_on_alloc zeroes both the isolated free pages and the
+			// freshly allocated migration targets.
+			zeroedPages += isolatedFree + blockMigrated
+		}
+		zone.FinishOffline(b)
+		offlined = append(offlined, b)
+	}
+
+	exits := int64(len(offlined))
+	if vm.Cost.BatchUnplugExits && exits > 1 {
+		exits = 1
+	}
+	steps := []vmm.Step{
+		{Pool: vm.GuestReclaimPool(), Work: sim.Duration(migratedPages)*vm.Cost.MigratePerPage + migrateExtra, Class: GuestClass, Label: vmm.StepMigration, Weight: vmm.KthreadWeight},
+		{Pool: vm.GuestReclaimPool(), Work: sim.Duration(zeroedPages) * vm.Cost.ZeroPerPage, Class: GuestClass, Label: vmm.StepZeroing, Weight: vmm.KthreadWeight},
+		{Pool: vm.GuestReclaimPool(), Work: sim.Duration(len(offlined)) * vm.Cost.OfflineMetaPerBlockVanilla, Class: GuestClass, Label: vmm.StepRest, Weight: vmm.KthreadWeight},
+		{Pool: vm.HostThreads, Work: sim.Duration(exits) * vm.Cost.VMExitPerBlock, Class: HostClass, Label: vmm.StepVMExits},
+	}
+	vm.CountExit("virtio-mem-unplug", exits)
+
+	reclaimed := int64(len(offlined)) * units.BlockSize
+	blocks := append([]int(nil), offlined...)
+	vmm.RunChain(vm.Sched, steps, func(bd *stats.Breakdown, total sim.Duration) {
+		// Hot-remove done: the hypervisor madvise()s the frames away and
+		// the commit budget returns to the host.
+		for _, b := range blocks {
+			start, count := zone.BlockRange(b)
+			d.K.ReleaseRange(start, count)
+			vm.Uncommit(count)
+		}
+		res := UnplugResult{
+			RequestedBytes: bytes,
+			ReclaimedBytes: reclaimed,
+			MigratedPages:  migratedPages,
+			ZeroedPages:    zeroedPages,
+			Breakdown:      bd,
+			Latency:        total,
+		}
+		d.finish()
+		onDone(res)
+	})
+}

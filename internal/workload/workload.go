@@ -1,0 +1,175 @@
+// Package workload defines the workloads of the paper's evaluation
+// (§5.1): the memhog microbenchmark used for the reclamation
+// experiments, and the four FaaS functions of Table 1 with their
+// resource limits and execution profiles.
+//
+// Per-function execution profiles (CPU phases, anonymous vs file-backed
+// footprint split) are not published in the paper; they are chosen so
+// the derived quantities land where the paper reports them: cold starts
+// of 1-7 s (Figure 11a), per-instance footprints where the 1:1 model
+// costs ≈2.53x more memory (Figure 11b), and container/function init
+// speedups of ≈1.33x/1.25x in the N:1 model (§6.3).
+package workload
+
+import (
+	"squeezy/internal/guestos"
+	"squeezy/internal/sim"
+	"squeezy/internal/units"
+)
+
+// Function describes one FaaS function (Table 1 plus derived profile).
+type Function struct {
+	Name string
+	// CPUShares is the vCPU limit per instance (Table 1).
+	CPUShares float64
+	// MemoryLimit is the user-set memory resource limit per instance
+	// (Table 1) — Squeezy's partition rated size.
+	MemoryLimit int64
+
+	// AnonBytes is the anonymous memory an instance touches across
+	// init and execution.
+	AnonBytes int64
+	// FileSharedBytes is the file-backed footprint shareable across
+	// instances (container rootfs, runtime and language deps).
+	FileSharedBytes int64
+	// FilePrivateBytes is the per-instance writable layer that cannot
+	// be shared.
+	FilePrivateBytes int64
+
+	// ContainerInitCPU, FuncInitCPU and ExecCPU are the pure-CPU parts
+	// of sandbox creation, runtime/model initialization, and the first
+	// (cold) request execution. Memory-touch costs come on top, from
+	// the cost model.
+	ContainerInitCPU sim.Duration
+	FuncInitCPU      sim.Duration
+	ExecCPU          sim.Duration
+	// WarmExecCPU is the steady-state request execution cost on an
+	// already-initialized instance (no model loading, warm caches).
+	WarmExecCPU sim.Duration
+
+	// GuestOSBytes is the guest kernel + agent footprint a dedicated
+	// 1:1 microVM replicates per instance (§6.3).
+	GuestOSBytes int64
+}
+
+// InitAnonBytes returns the portion of AnonBytes touched during
+// function initialization (heap, model weights); the rest is touched
+// during execution.
+func (f *Function) InitAnonBytes() int64 { return f.AnonBytes * 2 / 3 }
+
+// ExecAnonBytes returns the anonymous bytes touched at execution time.
+func (f *Function) ExecAnonBytes() int64 { return f.AnonBytes - f.InitAnonBytes() }
+
+// Functions returns the Table 1 workloads.
+func Functions() []*Function {
+	return []*Function{
+		// JPEG classification (FunctionBench).
+		{
+			Name: "Cnn", CPUShares: 1.0, MemoryLimit: 768 * units.MiB,
+			AnonBytes: 330 * units.MiB, FileSharedBytes: 330 * units.MiB, FilePrivateBytes: 50 * units.MiB,
+			ContainerInitCPU: 450 * sim.Millisecond, FuncInitCPU: 800 * sim.Millisecond, ExecCPU: 1800 * sim.Millisecond,
+			WarmExecCPU:  150 * sim.Millisecond,
+			GuestOSBytes: 180 * units.MiB,
+		},
+		// ML inference (FaaSMem).
+		{
+			Name: "Bert", CPUShares: 1.0, MemoryLimit: 1536 * units.MiB,
+			AnonBytes: 560 * units.MiB, FileSharedBytes: 760 * units.MiB, FilePrivateBytes: 90 * units.MiB,
+			ContainerInitCPU: 480 * sim.Millisecond, FuncInitCPU: 1500 * sim.Millisecond, ExecCPU: 2500 * sim.Millisecond,
+			WarmExecCPU:  300 * sim.Millisecond,
+			GuestOSBytes: 180 * units.MiB,
+		},
+		// Breadth-first search (FaaSMem); dominated by anonymous memory.
+		{
+			Name: "BFS", CPUShares: 1.0, MemoryLimit: 768 * units.MiB,
+			AnonBytes: 460 * units.MiB, FileSharedBytes: 180 * units.MiB, FilePrivateBytes: 40 * units.MiB,
+			ContainerInitCPU: 420 * sim.Millisecond, FuncInitCPU: 300 * sim.Millisecond, ExecCPU: 900 * sim.Millisecond,
+			WarmExecCPU:  250 * sim.Millisecond,
+			GuestOSBytes: 180 * units.MiB,
+		},
+		// Web service (FaaSMem); light CPU, page-cache heavy.
+		{
+			Name: "HTML", CPUShares: 0.25, MemoryLimit: 768 * units.MiB,
+			AnonBytes: 110 * units.MiB, FileSharedBytes: 230 * units.MiB, FilePrivateBytes: 40 * units.MiB,
+			ContainerInitCPU: 400 * sim.Millisecond, FuncInitCPU: 200 * sim.Millisecond, ExecCPU: 80 * sim.Millisecond,
+			WarmExecCPU:  40 * sim.Millisecond,
+			GuestOSBytes: 180 * units.MiB,
+		},
+	}
+}
+
+// ByName returns the Table 1 function with the given name.
+func ByName(name string) *Function {
+	for _, f := range Functions() {
+		if f.Name == name {
+			return f
+		}
+	}
+	panic("workload: unknown function " + name)
+}
+
+// Memhog mimics memhog(8): it repeatedly allocates and frees chunks of
+// anonymous memory of a fixed size while burning CPU, stressing both
+// the allocator and the vCPUs (§6.1). Drive it by calling Step
+// periodically or via Start.
+type Memhog struct {
+	K *guestos.Kernel
+	// Size is the resident footprint the instance maintains.
+	Size int64
+	// ChurnFraction is the share of the footprint freed and re-touched
+	// on every step.
+	ChurnFraction float64
+
+	Proc *guestos.Process
+}
+
+// NewMemhog spawns a memhog process with the given steady-state
+// footprint.
+func NewMemhog(k *guestos.Kernel, name string, size int64) *Memhog {
+	return &Memhog{K: k, Size: size, ChurnFraction: 0.25, Proc: k.Spawn(name)}
+}
+
+// Warmup touches the full footprint. It reports whether the allocation
+// fit (false means the zone is exhausted — the OOM case).
+func (m *Memhog) Warmup() bool {
+	need := m.Size - units.PagesToBytes(m.Proc.AnonPages())
+	if need <= 0 {
+		return true
+	}
+	_, ok := m.K.TouchAnon(m.Proc, need, guestos.HugeOrder)
+	return ok
+}
+
+// ReleaseChurn frees the churn fraction of the footprint (the free half
+// of memhog's loop). Interleaving ReleaseChurn/TouchChurn across
+// concurrent instances scatters their footprints over shared memory
+// blocks, as concurrent memhogs do on a real guest (Figure 3).
+func (m *Memhog) ReleaseChurn() {
+	churn := int64(float64(m.Size) * m.ChurnFraction)
+	if churn > 0 {
+		m.K.FreeAnon(m.Proc, churn)
+	}
+}
+
+// TouchChurn re-touches the churned fraction, reporting whether it fit.
+func (m *Memhog) TouchChurn() bool {
+	churn := int64(float64(m.Size) * m.ChurnFraction)
+	if churn <= 0 {
+		return true
+	}
+	_, ok := m.K.TouchAnon(m.Proc, churn, guestos.HugeOrder)
+	return ok
+}
+
+// Step performs one full churn iteration: free a fraction of the
+// footprint and touch it back, as memhog's (de)allocation loop does. It
+// reports whether the re-allocation fit.
+func (m *Memhog) Step() bool {
+	m.ReleaseChurn()
+	return m.TouchChurn()
+}
+
+// Kill terminates the memhog instance, releasing its memory.
+func (m *Memhog) Kill() int64 {
+	return m.K.Exit(m.Proc)
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"testing"
+
+	"squeezy/internal/costmodel"
+	"squeezy/internal/guestos"
+	"squeezy/internal/hostmem"
+	"squeezy/internal/sim"
+	"squeezy/internal/units"
+	"squeezy/internal/vmm"
+)
+
+func TestTable1(t *testing.T) {
+	fns := Functions()
+	if len(fns) != 4 {
+		t.Fatalf("functions = %d", len(fns))
+	}
+	limits := map[string]int64{
+		"Cnn": 768 * units.MiB, "Bert": 1536 * units.MiB,
+		"BFS": 768 * units.MiB, "HTML": 768 * units.MiB,
+	}
+	shares := map[string]float64{"Cnn": 1, "Bert": 1, "BFS": 1, "HTML": 0.25}
+	for _, f := range fns {
+		if f.MemoryLimit != limits[f.Name] {
+			t.Errorf("%s memory limit = %d", f.Name, f.MemoryLimit)
+		}
+		if f.CPUShares != shares[f.Name] {
+			t.Errorf("%s shares = %v", f.Name, f.CPUShares)
+		}
+		// Footprint must fit in the limit (otherwise instances OOM).
+		if f.AnonBytes+f.FilePrivateBytes >= f.MemoryLimit {
+			t.Errorf("%s footprint exceeds its limit", f.Name)
+		}
+		if f.InitAnonBytes()+f.ExecAnonBytes() != f.AnonBytes {
+			t.Errorf("%s anon split inconsistent", f.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("Bert").Name != "Bert" {
+		t.Fatal("ByName failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown name")
+		}
+	}()
+	ByName("nope")
+}
+
+func newKernel(t *testing.T, blocks int) *guestos.Kernel {
+	t.Helper()
+	s := sim.NewScheduler()
+	vm := vmm.New("vm", s, costmodel.Default(), hostmem.New(0), 4)
+	k := guestos.NewKernel(vm, guestos.Config{
+		BootBytes:           units.BlockSize,
+		MovableBytes:        int64(blocks) * units.BlockSize,
+		KernelResidentBytes: 8 * units.MiB,
+	})
+	k.OnlineAllMovable()
+	return k
+}
+
+func TestMemhogLifecycle(t *testing.T) {
+	k := newKernel(t, 8)
+	m := NewMemhog(k, "memhog0", 512*units.MiB)
+	if !m.Warmup() {
+		t.Fatal("warmup failed")
+	}
+	if m.Proc.AnonPages() != units.BytesToPages(512*units.MiB) {
+		t.Fatalf("resident = %d pages", m.Proc.AnonPages())
+	}
+	for i := 0; i < 5; i++ {
+		if !m.Step() {
+			t.Fatalf("churn step %d failed", i)
+		}
+		if m.Proc.AnonPages() != units.BytesToPages(512*units.MiB) {
+			t.Fatalf("footprint drifted to %d pages after step %d", m.Proc.AnonPages(), i)
+		}
+	}
+	freed := m.Kill()
+	if freed != units.BytesToPages(512*units.MiB) {
+		t.Fatalf("kill freed %d pages", freed)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemhogChurnScattersFootprint(t *testing.T) {
+	// Concurrently churning memhogs interleave their chunks across
+	// blocks — the fragmentation that penalizes vanilla unplug (§2.2).
+	// Asymmetric churn fractions prevent the pathological two-process
+	// oscillation where footprints swap wholesale every iteration.
+	k := newKernel(t, 12)
+	hogs := []*Memhog{
+		NewMemhog(k, "a", 256*units.MiB),
+		NewMemhog(k, "b", 256*units.MiB),
+		NewMemhog(k, "c", 256*units.MiB),
+	}
+	hogs[0].ChurnFraction = 0.25
+	hogs[1].ChurnFraction = 0.35
+	hogs[2].ChurnFraction = 0.15
+	for _, h := range hogs {
+		if !h.Warmup() {
+			t.Fatal("warmup failed")
+		}
+	}
+	for i := 0; i < 9; i++ {
+		// Concurrent churn: all release, then all re-touch, so each
+		// re-allocation draws from the mixed free pool.
+		for _, h := range hogs {
+			h.ReleaseChurn()
+		}
+		for _, h := range hogs {
+			if !h.TouchChurn() {
+				t.Fatal("churn failed")
+			}
+		}
+	}
+	// Count blocks containing pages from more than one process.
+	mixed := 0
+	for i := 0; i < k.Movable.Blocks(); i++ {
+		start, count := k.Movable.BlockRange(i)
+		procs := map[*guestos.Process]bool{}
+		for _, c := range k.ChunksInRange(start, count) {
+			if c.Proc != nil {
+				procs[c.Proc] = true
+			}
+		}
+		if len(procs) > 1 {
+			mixed++
+		}
+	}
+	if mixed == 0 {
+		t.Fatal("no interleaved blocks after churn; fragmentation model broken")
+	}
+}
+
+func TestMemhogOversubscription(t *testing.T) {
+	k := newKernel(t, 2)
+	m := NewMemhog(k, "big", 512*units.MiB)
+	if m.Warmup() {
+		t.Fatal("warmup should fail in a 256 MiB zone")
+	}
+}
