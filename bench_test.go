@@ -7,129 +7,47 @@ import (
 	"squeezy/internal/units"
 )
 
-// Each benchmark regenerates one table or figure of the paper's
-// evaluation and reports the figure's headline quantity as a custom
-// metric. Use -short for the reduced (Quick) protocols.
+// The figure benchmarks go through the experiment registry: every
+// registered driver gets a sub-benchmark that regenerates its table.
+// Use -short for the reduced (Quick) protocols. Headline quantities
+// per figure live in EXPERIMENTS.md and in the drivers' JSON output
+// (`squeezyctl -format json all`).
 
-func opts(b *testing.B) experiments.Options {
-	return experiments.Options{Seed: 1, Quick: testing.Short()}
-}
-
-func BenchmarkFig1StaticVMIdleMemory(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res := experiments.Fig1(opts(b))
-		b.ReportMetric(res.HostUsage.Max(), "host-peak-GiB")
-		b.ReportMetric(res.Guest.Max()-last(res.Guest.Values), "guest-drop-GiB")
-	}
-}
-
-func last(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	return xs[len(xs)-1]
-}
-
-func BenchmarkFig2InstanceChurn(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res := experiments.Fig2(opts(b))
-		b.ReportMetric(float64(res.PeakCreations()), "peak-creations/min")
-		b.ReportMetric(float64(res.PeakEvictions()), "peak-evictions/min")
-	}
-}
-
-func BenchmarkFig5ReclaimLatency(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res := experiments.Fig5(opts(b))
-		b.ReportMetric(res.Speedup("virtio-mem", "squeezy"), "squeezy-speedup-x")
-		b.ReportMetric(res.Speedup("balloon", "virtio-mem"), "virtiomem-over-balloon-x")
-	}
-}
-
-func BenchmarkFig6UtilizationSensitivity(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res := experiments.Fig6(opts(b))
-		var sqMax, vmMax float64
-		for _, p := range res.Points {
-			if p.Method == "squeezy" && p.LatencyMs > sqMax {
-				sqMax = p.LatencyMs
+// BenchmarkExperiments regenerates each registered experiment's table
+// and reports its row count, so a driver that silently stops
+// producing output shows up as a metric change.
+func BenchmarkExperiments(b *testing.B) {
+	for _, e := range experiments.All() {
+		e := e
+		b.Run(e.Name(), func(b *testing.B) {
+			o := experiments.Options{Seed: 1, Quick: testing.Short()}
+			for i := 0; i < b.N; i++ {
+				tab := e.Run(o).Table()
+				if tab == nil || len(tab.Rows) == 0 {
+					b.Fatalf("%s produced an empty table", e.Name())
+				}
+				b.ReportMetric(float64(len(tab.Rows)), "rows")
 			}
-			if p.Method == "virtio-mem" && p.LatencyMs > vmMax {
-				vmMax = p.LatencyMs
-			}
+		})
+	}
+}
+
+// BenchmarkRunnerParallel measures the worker-pool runner end to end:
+// every registered experiment in Quick mode across GOMAXPROCS
+// workers. Compare with -cpu 1 to see the fan-out win.
+func BenchmarkRunnerParallel(b *testing.B) {
+	names := experiments.Names()
+	for i := 0; i < b.N; i++ {
+		reports, err := experiments.Run(names, experiments.Options{Seed: 1, Quick: true}, 1, 0)
+		if err != nil {
+			b.Fatal(err)
 		}
-		b.ReportMetric(sqMax, "squeezy-worst-ms")
-		b.ReportMetric(vmMax, "virtiomem-worst-ms")
+		b.ReportMetric(float64(len(reports)), "experiments")
 	}
 }
 
-func BenchmarkFig7ReclaimCPU(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res := experiments.Fig7(opts(b))
-		for _, s := range res.Series {
-			switch s.Method {
-			case "squeezy":
-				b.ReportMetric(s.AvgGuest(), "squeezy-guest-avg-%")
-			case "virtio-mem":
-				b.ReportMetric(s.PeakGuest(), "virtiomem-guest-peak-%")
-			case "balloon":
-				b.ReportMetric(s.PeakHost(), "balloon-host-peak-%")
-			}
-		}
-	}
-}
-
-func BenchmarkFig8ReclaimThroughput(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res := experiments.Fig8(opts(b))
-		b.ReportMetric(res.Geomean("squeezy")/res.Geomean("virtio-mem"), "geomean-speedup-x")
-		b.ReportMetric(res.Geomean("squeezy"), "squeezy-MiB/s")
-	}
-}
-
-func BenchmarkFig9Interference(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res := experiments.Fig9(opts(b))
-		for _, s := range res.Series {
-			slow := 0.0
-			if base := s.Baseline(); base > 0 {
-				slow = s.PeakDuring() / base
-			}
-			b.ReportMetric(slow, s.Method+"-slowdown-x")
-		}
-	}
-}
-
-func BenchmarkFig10RestrictedMemory(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res := experiments.Fig10(opts(b))
-		b.ReportMetric(res.GeomeanP99("squeezy"), "squeezy-p99-x")
-		b.ReportMetric(res.GeomeanP99("virtio-mem"), "virtiomem-p99-x")
-		b.ReportMetric(res.GeomeanP99("harvestvm-opts"), "harvest-p99-x")
-		b.ReportMetric(res.GiBs("squeezy"), "squeezy-GiBs")
-	}
-}
-
-func BenchmarkFig11ModelsComparison(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res := experiments.Fig11(opts(b))
-		b.ReportMetric(res.ColdStartSpeedup(), "n1-coldstart-speedup-x")
-		b.ReportMetric(res.FootprintRatio(), "1to1-footprint-ratio-x")
-	}
-}
-
-func BenchmarkPlugLatency(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res := experiments.PlugLatency(opts(b))
-		var sum float64
-		for _, row := range res.Rows {
-			sum += row.PlugMs
-		}
-		b.ReportMetric(sum/float64(len(res.Rows)), "avg-plug-ms")
-	}
-}
-
-// Ablations: design choices DESIGN.md calls out.
+// Ablations keep parameterized benchmarks: the registry runs each
+// sweep as one experiment, while these isolate single configurations.
 
 // BenchmarkAblationBatching measures the §8 future-work optimization:
 // batching the per-block VM exits of one unplug request into one exit.

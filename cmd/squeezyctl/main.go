@@ -1,14 +1,33 @@
-// Command squeezyctl runs the paper's experiments and prints the tables
-// and series each figure reports.
+// Command squeezyctl runs the paper's experiments through the
+// experiment registry and emits each figure's table as aligned text,
+// JSON, or CSV.
 //
 // Usage:
 //
-//	squeezyctl [-quick] [-seed N] fig1|fig2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|pluglat|all
+//	squeezyctl [flags] list
+//	squeezyctl [flags] run <experiment>...
+//	squeezyctl [flags] all
+//
+// A bare experiment name is accepted as shorthand for `run`, so the
+// historical `squeezyctl fig6` invocation still works.
+//
+// Flags:
+//
+//	-quick       shrink workloads for a fast smoke run
+//	-seed N      base seed (default 1); trial t runs under a
+//	             splitmix-derived TrialSeed(seed, t)
+//	-trials N    run each experiment N times under derived seeds
+//	-parallel N  worker-pool size (default GOMAXPROCS); output is
+//	             byte-identical to -parallel 1
+//	-format F    text, json, or csv
+//	-o FILE      write output to FILE instead of stdout
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"squeezy/internal/experiments"
@@ -16,44 +35,138 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-	seed := flag.Uint64("seed", 1, "deterministic experiment seed")
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: squeezyctl [-quick] [-seed N] <experiment>")
-		fmt.Fprintln(os.Stderr, "experiments: fig1 fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 pluglat all")
-		flag.PrintDefaults()
-	}
+	seed := flag.Uint64("seed", 1, "deterministic base seed")
+	trials := flag.Int("trials", 1, "trials per experiment (derived seeds)")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+	format := flag.String("format", "text", "output format: text, json, or csv")
+	outPath := flag.String("o", "", "write output to this file instead of stdout")
+	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
-	}
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
 
-	runners := map[string]func(experiments.Options){
-		"fig1":    func(o experiments.Options) { fmt.Print(experiments.Fig1(o).Table()) },
-		"fig2":    func(o experiments.Options) { fmt.Print(experiments.Fig2(o).Table()) },
-		"fig5":    func(o experiments.Options) { fmt.Print(experiments.Fig5(o).Table()) },
-		"fig6":    func(o experiments.Options) { fmt.Print(experiments.Fig6(o).Table()) },
-		"fig7":    func(o experiments.Options) { fmt.Print(experiments.Fig7(o).Table()) },
-		"fig8":    func(o experiments.Options) { fmt.Print(experiments.Fig8(o).Table()) },
-		"fig9":    func(o experiments.Options) { fmt.Print(experiments.Fig9(o).Table()) },
-		"fig10":   func(o experiments.Options) { fmt.Print(experiments.Fig10(o).Table()) },
-		"fig11":   func(o experiments.Options) { fmt.Print(experiments.Fig11(o).Table()) },
-		"pluglat": func(o experiments.Options) { fmt.Print(experiments.PlugLatency(o).Table()) },
-	}
-	name := flag.Arg(0)
-	if name == "all" {
-		for _, n := range []string{"fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "pluglat"} {
-			runners[n](opts)
-			fmt.Println()
-		}
-		return
-	}
-	run, ok := runners[name]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-		flag.Usage()
+	if flag.NArg() < 1 {
+		usage()
 		os.Exit(2)
 	}
-	run(opts)
+
+	var names []string
+	switch cmd := flag.Arg(0); cmd {
+	case "list", "all":
+		if flag.NArg() > 1 {
+			// Catch misplaced flags: `squeezyctl all -quick` would
+			// otherwise silently run the full protocol.
+			fmt.Fprintf(os.Stderr, "squeezyctl: %s takes no arguments (got %q)\n", cmd, flag.Args()[1:])
+			usage()
+			os.Exit(2)
+		}
+		if cmd == "list" {
+			list(os.Stdout)
+			return
+		}
+		names = experiments.Names()
+	case "run":
+		names = flag.Args()[1:]
+		if len(names) == 0 {
+			fmt.Fprintln(os.Stderr, "squeezyctl: run needs at least one experiment name")
+			usage()
+			os.Exit(2)
+		}
+	default:
+		// Shorthand: treat bare registered names as `run <names>`.
+		names = flag.Args()
+		for _, n := range names {
+			if _, ok := experiments.Get(n); !ok {
+				fmt.Fprintf(os.Stderr, "squeezyctl: unknown command or experiment %q\n", n)
+				usage()
+				os.Exit(2)
+			}
+		}
+	}
+	// Validate every name before touching the output file: a typo'd
+	// `run` name must not truncate an existing -o results file.
+	for _, n := range names {
+		if _, ok := experiments.Get(n); !ok {
+			fmt.Fprintf(os.Stderr, "squeezyctl: unknown experiment %q (see `squeezyctl list`)\n", n)
+			os.Exit(2)
+		}
+	}
+
+	// Validate format and open the output file before running
+	// anything: a full-protocol `all` takes minutes, and a typo'd
+	// -format or unwritable -o should fail in milliseconds.
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "squeezyctl: unknown format %q (want text, json, or csv)\n", *format)
+		os.Exit(2)
+	}
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "squeezyctl:", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		defer func() {
+			// A failed flush (e.g. ENOSPC) must not exit 0 with a
+			// truncated results file.
+			ferr := bw.Flush()
+			cerr := f.Close()
+			if ferr == nil {
+				ferr = cerr
+			}
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "squeezyctl:", ferr)
+				os.Exit(1)
+			}
+		}()
+		out = bw
+	}
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	reports, err := experiments.Run(names, opts, *trials, *parallel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "squeezyctl:", err)
+		os.Exit(2)
+	}
+
+	switch *format {
+	case "text":
+		err = experiments.EncodeText(out, reports, *trials)
+	case "json":
+		err = experiments.EncodeJSON(out, reports)
+	case "csv":
+		err = experiments.EncodeCSV(out, reports)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "squeezyctl:", err)
+		os.Exit(1)
+	}
+}
+
+func list(w io.Writer) {
+	tw := bufio.NewWriter(w)
+	defer tw.Flush()
+	width := 0
+	for _, e := range experiments.All() {
+		if len(e.Name()) > width {
+			width = len(e.Name())
+		}
+	}
+	for _, e := range experiments.All() {
+		fmt.Fprintf(tw, "%-*s  %s\n", width, e.Name(), e.Describe())
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: squeezyctl [flags] <command>
+
+commands:
+  list              list registered experiments
+  run <name>...     run the named experiments
+  all               run every registered experiment
+  <name>...         shorthand for run
+
+flags:`)
+	flag.PrintDefaults()
 }

@@ -13,7 +13,13 @@
 //
 // Entry points:
 //
-//   - cmd/squeezyctl — run any experiment and print its table;
+//   - cmd/squeezyctl — list and run registered experiments
+//     (`squeezyctl list`, `squeezyctl run fig6`, `squeezyctl all`)
+//     with parallel execution, multi-seed trials, and text/JSON/CSV
+//     output;
 //   - examples/ — runnable demos of the public API;
-//   - bench_test.go — one benchmark per paper figure.
+//   - bench_test.go — registry-driven benchmarks, one per experiment.
+//
+// README.md has the quickstart; DESIGN.md and EXPERIMENTS.md are in
+// the repository root alongside this file.
 package squeezy

@@ -1,0 +1,3 @@
+module squeezy
+
+go 1.24

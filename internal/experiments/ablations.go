@@ -87,3 +87,61 @@ func vanillaUnplug512(cost *costmodel.Model, policy virtiomem.CandidatePolicy) f
 func AblationPartitionSize(bytes int64) float64 {
 	return AblationBatching(false, bytes)
 }
+
+// The ablations register as experiments too, so `squeezyctl all`
+// covers the design-choice studies alongside the paper figures. They
+// are deterministic closed-form sweeps: Options.Seed is accepted for
+// interface uniformity but unused, and Quick shrinks the swept sizes.
+
+func init() {
+	Register("abl-batching", "Ablation (§8): VM-exit batching on a Squeezy unplug",
+		func(o Options) Result {
+			bytes := int64(2 * units.GiB)
+			if o.Quick {
+				bytes = 512 * units.MiB
+			}
+			t := &Table{
+				Title:  "Ablation: VM-exit batching on a " + units.HumanBytes(bytes) + " Squeezy unplug",
+				Header: []string{"mode", "unplug(ms)"},
+			}
+			t.AddRow("unbatched", f1(AblationBatching(false, bytes)))
+			t.AddRow("batched", f1(AblationBatching(true, bytes)))
+			return t
+		})
+	Register("abl-zeroing", "Ablation (§2.2): zero-on-unplug tax on a vanilla 512 MiB unplug",
+		func(o Options) Result {
+			t := &Table{
+				Title:  "Ablation: kernel zeroing on the vanilla virtio-mem unplug path",
+				Header: []string{"zeroing", "unplug-512MiB(ms)"},
+			}
+			t.AddRow("on", f1(AblationZeroing(true)))
+			t.AddRow("off", f1(AblationZeroing(false)))
+			return t
+		})
+	Register("abl-policy", "Ablation: virtio-mem block-selection policy (emptiest vs highest)",
+		func(o Options) Result {
+			t := &Table{
+				Title:  "Ablation: virtio-mem candidate-block policy, 512 MiB unplug",
+				Header: []string{"policy", "unplug-512MiB(ms)"},
+			}
+			for _, p := range []string{"emptiest", "highest"} {
+				t.AddRow(p, f1(AblationCandidatePolicy(p)))
+			}
+			return t
+		})
+	Register("abl-partition", "Ablation: Squeezy partition rated size vs unplug latency",
+		func(o Options) Result {
+			sizes := []int64{128, 512, 2048}
+			if o.Quick {
+				sizes = []int64{128, 512}
+			}
+			t := &Table{
+				Title:  "Ablation: unplug latency of one partition by rated size",
+				Header: []string{"partition", "unplug(ms)"},
+			}
+			for _, mib := range sizes {
+				t.AddRow(units.HumanBytes(mib*units.MiB), f1(AblationPartitionSize(mib*units.MiB)))
+			}
+			return t
+		})
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+)
+
+// Machine-readable encoders for experiment output. Both are
+// deterministic: equal tables encode to equal bytes, which is what
+// the determinism tests and the parallel/serial equivalence guarantee
+// are checked against.
+
+// JSON returns the table as indented JSON.
+func (t *Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// WriteCSV writes the table as CSV: one header record then one record
+// per row. The title is not emitted; callers that concatenate several
+// tables should prefix their own identifying columns (the runner's
+// CSV format does).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -5,6 +5,12 @@
 // series the paper plots. Every driver takes a seed and is
 // deterministic for a given seed.
 //
+// Drivers self-register into a package-level registry (registry.go)
+// from init(), so the CLI, benchmarks, and determinism tests all
+// enumerate one source of truth; the runner (runner.go) executes
+// registered experiments and multi-seed trials across a worker pool
+// with output byte-identical to a serial run.
+//
 // EXPERIMENTS.md records paper-reported vs measured values for each
 // driver.
 package experiments
@@ -35,15 +41,20 @@ func (o Options) seed() uint64 {
 }
 
 // Table is a generic experiment output: a header and rows of cells,
-// renderable as an aligned text table (the paper's rows/series).
+// renderable as an aligned text table (the paper's rows/series), as
+// JSON, or as CSV (see encode.go).
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Table lets a bare *Table satisfy Result, so drivers whose natural
+// output is already tabular need no wrapper type.
+func (t *Table) Table() *Table { return t }
 
 // String renders the table with aligned columns.
 func (t *Table) String() string {

@@ -90,3 +90,7 @@ func last(xs []float64) float64 {
 	}
 	return xs[len(xs)-1]
 }
+
+func init() {
+	Register("fig1", "Figure 1: static 50:1 VM — memory usage vs load", func(o Options) Result { return Fig1(o) })
+}

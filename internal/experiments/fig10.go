@@ -183,3 +183,7 @@ func (r *Fig10Result) Table() *Table {
 	}
 	return t
 }
+
+func init() {
+	Register("fig10", "Figure 10: normalized P99 latency and memory integral under restricted host memory", func(o Options) Result { return Fig10(o) })
+}

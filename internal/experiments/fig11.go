@@ -135,3 +135,7 @@ func (r *Fig11Result) Table() *Table {
 	t.AddRow("Geomean", "1:1 / N:1", "", "", "", "", f2(r.ColdStartSpeedup()), f2(r.FootprintRatio()))
 	return t
 }
+
+func init() {
+	Register("fig11", "Figure 11: 1:1 vs N:1 cold start (ms) and footprint (MiB)", func(o Options) Result { return Fig11(o) })
+}

@@ -72,3 +72,7 @@ func (r *Fig2Result) Table() *Table {
 	}
 	return t
 }
+
+func init() {
+	Register("fig2", "Figure 2: instance creations/evictions per minute (top-10 functions)", func(o Options) Result { return Fig2(o) })
+}

@@ -207,3 +207,7 @@ func (r *Fig5Result) Speedup(slow, fast string) float64 {
 	}
 	return sum / float64(len(ratios))
 }
+
+func init() {
+	Register("fig5", "Figure 5: reclaim latency (ms) by size and interface", func(o Options) Result { return Fig5(o) })
+}

@@ -195,3 +195,7 @@ func (r *Fig6Result) Table() *Table {
 	}
 	return t
 }
+
+func init() {
+	Register("fig6", "Figure 6: latency to unplug 2 GiB vs memory utilization", func(o Options) Result { return Fig6(o) })
+}

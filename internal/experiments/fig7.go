@@ -196,3 +196,7 @@ func (r *Fig7Result) Table() *Table {
 	}
 	return t
 }
+
+func init() {
+	Register("fig7", "Figure 7: reclaim-thread CPU utilization (%) over repeated 512 MiB reclaims", func(o Options) Result { return Fig7(o) })
+}

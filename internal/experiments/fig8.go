@@ -113,3 +113,7 @@ func (r *Fig8Result) Table() *Table {
 	t.AddRow("Geomean", f1(gv), f1(gs), f2(sp))
 	return t
 }
+
+func init() {
+	Register("fig8", "Figure 8: memory reclamation throughput (MiB/s) under FaaS load", func(o Options) Result { return Fig8(o) })
+}

@@ -175,3 +175,7 @@ func (r *Fig9Result) Table() *Table {
 	}
 	return t
 }
+
+func init() {
+	Register("fig9", "Figure 9: CNN request latency around the HTML scale-down", func(o Options) Result { return Fig9(o) })
+}

@@ -68,3 +68,7 @@ func (r *PlugLatencyResult) Table() *Table {
 	}
 	return t
 }
+
+func init() {
+	Register("pluglat", "§6.2.1: plug latency and the cost of cold-starting on a resized VM", func(o Options) Result { return PlugLatency(o) })
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// The runner executes a batch of experiments — optionally several
+// trials of each under derived seeds — across a worker pool. Results
+// come back in a deterministic (experiment, trial) order that does
+// not depend on the worker count, so a -parallel 8 run is
+// byte-identical to a serial one.
+
+// TrialSeed derives the seed for trial t of a run with the given base
+// seed. Trial 0 uses the base seed unchanged, so a single-trial run
+// reproduces a plain `run -seed N` exactly; later trials mix the
+// trial index through splitmix64, giving well-separated streams even
+// for adjacent base seeds.
+func TrialSeed(base uint64, trial int) uint64 {
+	if trial == 0 {
+		return base
+	}
+	x := base + uint64(trial)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		// Options treats seed 0 as "use the default"; avoid aliasing.
+		x = 0x9E3779B97F4A7C15
+	}
+	return x
+}
+
+// Report is one completed experiment×trial unit. It carries only
+// run-deterministic fields — no wall-clock timing — so that encoded
+// reports are byte-identical across serial and parallel runs.
+type Report struct {
+	Experiment  string `json:"experiment"`
+	Description string `json:"description"`
+	Trial       int    `json:"trial"`
+	Seed        uint64 `json:"seed"`
+	Quick       bool   `json:"quick"`
+	Table       *Table `json:"table"`
+}
+
+// Run executes each named experiment for the given number of trials
+// on a pool of `workers` goroutines (workers<=0 selects GOMAXPROCS).
+// Trial t runs with TrialSeed(opts.seed(), t). The returned reports
+// are ordered by (position in names, trial) regardless of scheduling,
+// and an unknown name fails up front before anything runs.
+func Run(names []string, opts Options, trials, workers int) ([]Report, error) {
+	if trials <= 0 {
+		trials = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	exps := make([]Experiment, len(names))
+	for i, n := range names {
+		e, ok := Get(n)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (see `squeezyctl list`)", n)
+		}
+		exps[i] = e
+	}
+
+	base := opts.seed()
+	reports := make([]Report, len(exps)*trials)
+	for i, e := range exps {
+		for t := 0; t < trials; t++ {
+			reports[i*trials+t] = Report{
+				Experiment:  e.Name(),
+				Description: e.Describe(),
+				Trial:       t,
+				Seed:        TrialSeed(base, t),
+				Quick:       opts.Quick,
+			}
+		}
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	if workers > len(reports) {
+		workers = len(reports)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r := &reports[j]
+				o := opts
+				o.Seed = r.Seed
+				r.Table = exps[j/trials].Run(o).Table()
+			}
+		}()
+	}
+	for j := range reports {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	return reports, nil
+}
+
+// EncodeText writes each report's aligned-text table, separated by
+// blank lines. Multi-trial runs get a per-trial banner so tables with
+// identical titles stay distinguishable.
+func EncodeText(w io.Writer, reports []Report, trials int) error {
+	for i, r := range reports {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if trials > 1 {
+			banner := fmt.Sprintf("== %s trial %d (seed %d) ==\n", r.Experiment, r.Trial, r.Seed)
+			if _, err := io.WriteString(w, banner); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, r.Table.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EncodeJSON writes the reports as one indented JSON array.
+func EncodeJSON(w io.Writer, reports []Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}
+
+// EncodeCSV writes all reports as one CSV stream. Each table
+// contributes its header record then its rows, every record prefixed
+// with (experiment, trial, seed) columns so concatenated tables of
+// different shapes remain self-describing.
+func EncodeCSV(w io.Writer, reports []Report) error {
+	cw := csv.NewWriter(w)
+	for _, r := range reports {
+		prefix := []string{r.Experiment, strconv.Itoa(r.Trial), strconv.FormatUint(r.Seed, 10)}
+		if err := cw.Write(append(append([]string{}, prefix...), r.Table.Header...)); err != nil {
+			return err
+		}
+		for _, row := range r.Table.Rows {
+			if err := cw.Write(append(append([]string{}, prefix...), row...)); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTrialSeed(t *testing.T) {
+	if TrialSeed(7, 0) != 7 {
+		t.Fatal("trial 0 must reuse the base seed")
+	}
+	seen := map[uint64]bool{}
+	for trial := 0; trial < 64; trial++ {
+		s := TrialSeed(7, trial)
+		if s == 0 {
+			t.Fatalf("trial %d derived seed 0, which Options would remap", trial)
+		}
+		if seen[s] {
+			t.Fatalf("trial %d repeats an earlier seed", trial)
+		}
+		seen[s] = true
+		if s != TrialSeed(7, trial) {
+			t.Fatalf("TrialSeed not deterministic at trial %d", trial)
+		}
+	}
+	if TrialSeed(7, 1) == TrialSeed(8, 1) {
+		t.Fatal("adjacent base seeds collide at trial 1")
+	}
+}
+
+func TestRunUnknownName(t *testing.T) {
+	if _, err := Run([]string{"fig1", "nope"}, Options{Quick: true}, 1, 1); err == nil {
+		t.Fatal("unknown experiment name did not error")
+	}
+}
+
+// TestRunParallelMatchesSerial is the determinism guard for the
+// worker pool: the same batch across 1 and 8 workers, 2 trials each,
+// must encode to identical bytes in every format.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	names := []string{"fig5", "fig2", "abl-policy", "pluglat"}
+	opts := Options{Seed: 3, Quick: true}
+	const trials = 2
+	serial, err := Run(names, opts, trials, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(names, opts, trials, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encodeAll := func(reports []Report) []byte {
+		var buf bytes.Buffer
+		if err := EncodeText(&buf, reports, trials); err != nil {
+			t.Fatal(err)
+		}
+		if err := EncodeJSON(&buf, reports); err != nil {
+			t.Fatal(err)
+		}
+		if err := EncodeCSV(&buf, reports); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(encodeAll(serial), encodeAll(par)) {
+		t.Fatal("parallel run differs from serial run")
+	}
+	// Order and seed schedule must follow (name position, trial).
+	for i, n := range names {
+		for tr := 0; tr < trials; tr++ {
+			r := serial[i*trials+tr]
+			if r.Experiment != n || r.Trial != tr || r.Seed != TrialSeed(3, tr) {
+				t.Fatalf("report %d out of order: %+v", i*trials+tr, r)
+			}
+		}
+	}
+}
