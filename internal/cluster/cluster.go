@@ -1,0 +1,357 @@
+// Package cluster scales the single-host simulation out to a fleet: N
+// simulated hosts — each with its own hostmem.Host, faas.Runtime,
+// reclamation backend, and memory broker — advance under one
+// sim.Scheduler, fronted by a dispatcher that routes invocations and
+// places cold scale-ups through a pluggable Policy.
+//
+// The split mirrors real FaaS-on-hypervisor stacks (a cluster-facing
+// gateway over per-host runtimes): host-local mechanisms decide *how*
+// memory is reclaimed, the cluster policy decides *which* host pays
+// plug latency — and, under memory pressure, whose backend pays the
+// unplug latency the paper measures. That interaction is exactly what
+// the cluster-* experiments sweep.
+//
+// Determinism: the dispatcher holds no RNG, iterates hosts in slice
+// order, and breaks every tie by host ID, so a fleet run is a pure
+// function of its traces and seed like every other layer.
+package cluster
+
+import (
+	"fmt"
+
+	"squeezy/internal/costmodel"
+	"squeezy/internal/faas"
+	"squeezy/internal/hostmem"
+	"squeezy/internal/sim"
+	"squeezy/internal/stats"
+	"squeezy/internal/units"
+	"squeezy/internal/workload"
+)
+
+// Config sizes a fleet. The zero value of optional fields selects
+// sensible defaults (see New).
+type Config struct {
+	// Hosts is the number of simulated hosts.
+	Hosts int
+	// HostMemBytes is each host's memory capacity; 0 means unlimited
+	// (no placement decision ever matters — useful as a baseline).
+	HostMemBytes int64
+	// Backend is the reclamation mechanism of every VM in the fleet.
+	Backend faas.BackendKind
+	// N is the per-VM concurrency factor (default 8).
+	N int
+	// KeepAlive is the idle window before instance eviction (default
+	// 60 s; shorter than the paper's 2 min so fleet runs churn).
+	KeepAlive sim.Duration
+	// ProactiveFactor is the runtime's pressure over-eviction factor
+	// (default 1.0; the Harvest backend conventionally uses 1.5).
+	ProactiveFactor float64
+	// HarvestBufferInstances caps each Harvest VM's slack buffer in
+	// instance sizes (default 2).
+	HarvestBufferInstances int
+}
+
+// Node is one simulated host: a private memory pool and runtime, plus
+// the per-function VMs the dispatcher has placed on it.
+type Node struct {
+	ID      int
+	Backend faas.BackendKind
+	Host    *hostmem.Host
+	RT      *faas.Runtime
+
+	vms     map[string]*faas.FuncVM
+	vmOrder []*faas.FuncVM // creation order, for deterministic iteration
+}
+
+// LiveInstances returns live (starting, busy, idle) instances on the
+// host.
+func (n *Node) LiveInstances() int { return n.RT.LiveInstances() }
+
+// FreePages returns pages available for new grants on the host.
+func (n *Node) FreePages() int64 { return n.RT.Broker.FreePages() }
+
+// QueuedPages returns pages queued behind the host's broker.
+func (n *Node) QueuedPages() int64 { return n.RT.Broker.QueuedPages() }
+
+// HeadroomPages returns free pages net of the queue already waiting for
+// them — the memory a new placement could actually claim.
+func (n *Node) HeadroomPages() int64 { return n.FreePages() - n.QueuedPages() }
+
+// VM returns the host's VM for the named function, or nil.
+func (n *Node) VM(fnName string) *faas.FuncVM { return n.vms[fnName] }
+
+// VMs returns the host's VMs in creation order.
+func (n *Node) VMs() []*faas.FuncVM { return n.vmOrder }
+
+// Metrics aggregates fleet-wide outcomes. Latency samples are in
+// milliseconds.
+type Metrics struct {
+	Invocations int
+	ColdStarts  int
+	WarmStarts  int
+	// Dropped counts requests that entered a VM and failed (OOM-retry
+	// budget exhausted); AdmissionDrops counts requests no host could
+	// even accept a VM for.
+	Dropped        int
+	AdmissionDrops int
+
+	ColdLatMs *stats.Sample
+	WarmLatMs *stats.Sample
+	// MemWaitMs samples the memory-queueing phase of every cold start —
+	// the fleet's reclamation stall time.
+	MemWaitMs *stats.Sample
+
+	// Committed and Populated are fleet-wide memory time series in GiB,
+	// fed by SampleMemory.
+	Committed stats.TimeSeries
+	Populated stats.TimeSeries
+}
+
+// Cluster is a fleet of hosts behind one dispatcher.
+type Cluster struct {
+	Sched  *sim.Scheduler
+	Cost   *costmodel.Model
+	Cfg    Config
+	Policy Policy
+	Nodes  []*Node
+
+	Metrics Metrics
+}
+
+// New builds a fleet of cfg.Hosts identical hosts under sched, with
+// placement delegated to policy.
+func New(sched *sim.Scheduler, cost *costmodel.Model, cfg Config, policy Policy) *Cluster {
+	if cfg.Hosts <= 0 {
+		panic("cluster: need at least one host")
+	}
+	if cfg.N <= 0 {
+		cfg.N = 8
+	}
+	if cfg.KeepAlive <= 0 {
+		cfg.KeepAlive = 60 * sim.Second
+	}
+	if cfg.ProactiveFactor <= 0 {
+		cfg.ProactiveFactor = 1.0
+		if cfg.Backend == faas.Harvest {
+			cfg.ProactiveFactor = 1.5
+		}
+	}
+	if cfg.HarvestBufferInstances <= 0 {
+		cfg.HarvestBufferInstances = 2
+	}
+	c := &Cluster{
+		Sched: sched, Cost: cost, Cfg: cfg, Policy: policy,
+		Metrics: Metrics{
+			ColdLatMs: &stats.Sample{}, WarmLatMs: &stats.Sample{}, MemWaitMs: &stats.Sample{},
+		},
+	}
+	for i := 0; i < cfg.Hosts; i++ {
+		host := hostmem.New(cfg.HostMemBytes)
+		rt := faas.NewRuntime(sched, host, cost)
+		rt.ProactiveFactor = cfg.ProactiveFactor
+		c.Nodes = append(c.Nodes, &Node{
+			ID: i, Backend: cfg.Backend, Host: host, RT: rt,
+			vms: make(map[string]*faas.FuncVM),
+		})
+	}
+	return c
+}
+
+// Invoke routes one invocation of fn through the dispatcher, in three
+// tiers: (1) a host with a warm idle instance serves it immediately;
+// (2) otherwise the policy picks among hosts whose existing VM for fn
+// still has concurrency slots (scale up in place — booting a second VM
+// for a function whose VM has room just burns boot memory); (3) only
+// when every existing VM is saturated does the policy pick across the
+// whole fleet, booting a new VM if needed. onDone may be nil.
+func (c *Cluster) Invoke(fn *workload.Function, onDone func(faas.Result)) {
+	c.Metrics.Invocations++
+	target := c.warmNode(fn)
+	if target == nil {
+		if cands := c.nodesWithSlack(fn); len(cands) > 0 {
+			target = c.Policy.Pick(cands, fn)
+		} else {
+			target = c.Policy.Pick(c.Nodes, fn)
+		}
+	}
+	fv := c.vmOn(target, fn)
+	if fv == nil {
+		fv = c.fallbackVM(fn)
+	}
+	if fv == nil {
+		// No host can even boot a VM for fn: admission-drop rather than
+		// panic the host model with an unbackable boot.
+		c.Metrics.AdmissionDrops++
+		if onDone != nil {
+			now := c.Sched.Now()
+			onDone(faas.Result{Fn: fn, Arrival: now, Done: now, Dropped: true})
+		}
+		return
+	}
+	fv.Invoke(fn, c.record(onDone))
+}
+
+// warmNode returns the host that should serve fn warm — the one with
+// the most idle instances of fn (draining the largest warm pool first),
+// ties to the lowest ID — or nil when no host has one. Warm routing is
+// policy-independent on purpose: policies compete on cold placement,
+// not on rediscovering instance affinity.
+func (c *Cluster) warmNode(fn *workload.Function) *Node {
+	var best *Node
+	bestIdle := 0
+	for _, n := range c.Nodes {
+		fv := n.vms[fn.Name]
+		if fv == nil {
+			continue
+		}
+		if idle := fv.IdleInstances(); idle > bestIdle {
+			best, bestIdle = n, idle
+		}
+	}
+	return best
+}
+
+// nodesWithSlack returns hosts whose existing VM for fn has spare
+// concurrency, in host order.
+func (c *Cluster) nodesWithSlack(fn *workload.Function) []*Node {
+	var out []*Node
+	for _, n := range c.Nodes {
+		if fv := n.vms[fn.Name]; fv != nil && fv.LiveInstances() < c.Cfg.N {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// vmOn returns the host's VM for fn, booting one if the host can back
+// its boot footprint. It returns nil when the host is too full to boot.
+func (c *Cluster) vmOn(n *Node, fn *workload.Function) *faas.FuncVM {
+	if fv := n.vms[fn.Name]; fv != nil {
+		return fv
+	}
+	cfg := faas.VMConfig{
+		Name:      fmt.Sprintf("%s@h%02d", fn.Name, n.ID),
+		Kind:      c.Cfg.Backend,
+		Fn:        fn,
+		N:         c.Cfg.N,
+		KeepAlive: c.Cfg.KeepAlive,
+	}
+	if c.Cfg.Backend == faas.Harvest {
+		cfg.HarvestBufferBytes = int64(c.Cfg.HarvestBufferInstances) *
+			units.AlignUp(fn.MemoryLimit, units.BlockSize)
+	}
+	if units.BytesToPages(cfg.BootFootprintBytes()) > n.FreePages() {
+		return nil
+	}
+	fv := n.RT.AddVM(cfg)
+	n.vms[fn.Name] = fv
+	n.vmOrder = append(n.vmOrder, fv)
+	return fv
+}
+
+// fallbackVM handles a policy pick that cannot boot fn's VM: queue on
+// the least-backlogged host that already runs fn, else boot on the host
+// with the most free memory that can. Returns nil when the whole fleet
+// is too full.
+func (c *Cluster) fallbackVM(fn *workload.Function) *faas.FuncVM {
+	var existing *faas.FuncVM
+	bestQueue := 0
+	for _, n := range c.Nodes {
+		if fv := n.vms[fn.Name]; fv != nil {
+			if existing == nil || fv.QueueLen() < bestQueue {
+				existing, bestQueue = fv, fv.QueueLen()
+			}
+		}
+	}
+	if existing != nil {
+		return existing
+	}
+	var roomiest *Node
+	for _, n := range c.Nodes {
+		if roomiest == nil || n.FreePages() > roomiest.FreePages() {
+			roomiest = n
+		}
+	}
+	return c.vmOn(roomiest, fn)
+}
+
+// record wraps a caller's completion callback with metrics accounting.
+func (c *Cluster) record(onDone func(faas.Result)) func(faas.Result) {
+	return func(res faas.Result) {
+		switch {
+		case res.Dropped:
+			c.Metrics.Dropped++
+		case res.Cold:
+			c.Metrics.ColdStarts++
+			c.Metrics.ColdLatMs.Add(res.Latency.Milliseconds())
+			c.Metrics.MemWaitMs.Add(res.Phases.MemWait.Milliseconds())
+		default:
+			c.Metrics.WarmStarts++
+			c.Metrics.WarmLatMs.Add(res.Latency.Milliseconds())
+		}
+		if onDone != nil {
+			onDone(res)
+		}
+	}
+}
+
+// SampleMemory appends one fleet-wide committed/populated point (GiB)
+// at the current virtual time.
+func (c *Cluster) SampleMemory() {
+	var committed, populated int64
+	for _, n := range c.Nodes {
+		committed += n.Host.CommittedPages()
+		populated += n.Host.PopulatedPages()
+	}
+	t := c.Sched.Now().Seconds()
+	c.Metrics.Committed.Append(t, float64(units.PagesToBytes(committed))/float64(units.GiB))
+	c.Metrics.Populated.Append(t, float64(units.PagesToBytes(populated))/float64(units.GiB))
+}
+
+// StartMemoryTicker samples fleet memory every interval until the given
+// virtual time.
+func (c *Cluster) StartMemoryTicker(every sim.Duration, until sim.Time) {
+	var tick func()
+	tick = func() {
+		c.SampleMemory()
+		if c.Sched.Now() < until {
+			c.Sched.After(every, tick)
+		}
+	}
+	c.Sched.At(c.Sched.Now(), tick)
+}
+
+// MemoryEfficiency returns the time-averaged fraction of committed host
+// memory the guests actually use (populated/committed over the sampled
+// window) — the fleet-scale version of Figure 1's idle-memory gap.
+func (c *Cluster) MemoryEfficiency() float64 {
+	ci := c.Metrics.Committed.Integral()
+	if ci <= 0 {
+		return 0
+	}
+	return c.Metrics.Populated.Integral() / ci
+}
+
+// CommittedGiBs returns the fleet's committed-memory time integral
+// (GiB·s), the cost metric of Figure 10 at fleet scale.
+func (c *Cluster) CommittedGiBs() float64 { return c.Metrics.Committed.Integral() }
+
+// Evictions sums instance evictions across the fleet.
+func (c *Cluster) Evictions() int {
+	total := 0
+	for _, n := range c.Nodes {
+		for _, fv := range n.vmOrder {
+			total += fv.Evictions
+		}
+	}
+	return total
+}
+
+// VMCount returns the number of VMs booted across the fleet.
+func (c *Cluster) VMCount() int {
+	total := 0
+	for _, n := range c.Nodes {
+		total += len(n.vmOrder)
+	}
+	return total
+}

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"testing"
+
+	"squeezy/internal/costmodel"
+	"squeezy/internal/faas"
+	"squeezy/internal/sim"
+	"squeezy/internal/trace"
+	"squeezy/internal/units"
+	"squeezy/internal/workload"
+)
+
+func newTestCluster(hosts int, hostMem int64, kind faas.BackendKind, policy string) *Cluster {
+	sched := sim.NewScheduler()
+	cost := costmodel.Default()
+	return New(sched, cost, Config{
+		Hosts: hosts, HostMemBytes: hostMem, Backend: kind, N: 4,
+		KeepAlive: 30 * sim.Second,
+	}, NewPolicy(policy, cost))
+}
+
+func TestWarmAffinityReusesInstance(t *testing.T) {
+	c := newTestCluster(2, 0, faas.Squeezy, "round-robin")
+	fn := workload.ByName("HTML")
+	c.Invoke(fn, nil)
+	c.Sched.RunFor(20 * sim.Second)
+	if c.Metrics.ColdStarts != 1 {
+		t.Fatalf("cold starts = %d, want 1", c.Metrics.ColdStarts)
+	}
+	// Round-robin would pick host 1 next, but the idle instance on
+	// host 0 must win.
+	c.Invoke(fn, nil)
+	c.Sched.RunFor(20 * sim.Second)
+	if c.Metrics.WarmStarts != 1 {
+		t.Fatalf("warm starts = %d, want 1", c.Metrics.WarmStarts)
+	}
+	if c.VMCount() != 1 {
+		t.Fatalf("VM count = %d, want 1 (warm routing must not boot a second VM)", c.VMCount())
+	}
+}
+
+func TestRoundRobinSpreadsColdPlacements(t *testing.T) {
+	c := newTestCluster(3, 0, faas.Squeezy, "round-robin")
+	for _, fn := range workload.Fleet(3) {
+		c.Invoke(fn, nil)
+	}
+	c.Sched.RunFor(20 * sim.Second)
+	for i, n := range c.Nodes {
+		if len(n.VMs()) != 1 {
+			t.Fatalf("host %d has %d VMs, want 1 each under round-robin", i, len(n.VMs()))
+		}
+	}
+}
+
+func TestLeastLoadedBalancesInstances(t *testing.T) {
+	c := newTestCluster(2, 0, faas.Squeezy, "least-loaded")
+	fns := workload.Fleet(4)
+	// Sequential cold starts: each placement should land on the host
+	// with fewer live instances, alternating hosts.
+	for _, fn := range fns {
+		c.Invoke(fn, nil)
+		c.Sched.RunFor(sim.Second)
+	}
+	c.Sched.RunFor(20 * sim.Second)
+	a, b := c.Nodes[0].LiveInstances(), c.Nodes[1].LiveInstances()
+	if a != b {
+		t.Fatalf("instance imbalance %d vs %d under least-loaded", a, b)
+	}
+}
+
+func TestHeadroomAvoidsFullHost(t *testing.T) {
+	c := newTestCluster(2, 8*units.GiB, faas.Squeezy, "headroom")
+	// Tie down most of host 0's memory out-of-band: headroom must place
+	// every cold start on host 1.
+	if !c.Nodes[0].Host.TryCommit(units.BytesToPages(7 * units.GiB)) {
+		t.Fatal("setup commit failed")
+	}
+	for _, fn := range workload.Fleet(3) {
+		c.Invoke(fn, nil)
+	}
+	c.Sched.RunFor(20 * sim.Second)
+	if got := len(c.Nodes[0].VMs()); got != 0 {
+		t.Fatalf("headroom booted %d VMs on the full host", got)
+	}
+	if got := len(c.Nodes[1].VMs()); got != 3 {
+		t.Fatalf("host 1 has %d VMs, want 3", got)
+	}
+}
+
+func TestAdmissionDropWhenFleetFull(t *testing.T) {
+	// 256 MiB hosts cannot back any VM boot footprint.
+	c := newTestCluster(2, 256*units.MiB, faas.VirtioMem, "headroom")
+	dropped := false
+	c.Invoke(workload.ByName("HTML"), func(res faas.Result) { dropped = res.Dropped })
+	c.Sched.RunFor(sim.Second)
+	if !dropped || c.Metrics.AdmissionDrops != 1 {
+		t.Fatalf("dropped=%v admissionDrops=%d, want drop", dropped, c.Metrics.AdmissionDrops)
+	}
+	if c.VMCount() != 0 {
+		t.Fatalf("VM count = %d on an unbackable fleet", c.VMCount())
+	}
+}
+
+func TestReclaimAwarePenaltyOrdersBackends(t *testing.T) {
+	m := costmodel.Default()
+	bytes := int64(768 * units.MiB)
+	sq := UnplugEstimate(m, faas.Squeezy, bytes)
+	vm := UnplugEstimate(m, faas.VirtioMem, bytes)
+	st := UnplugEstimate(m, faas.Static, bytes)
+	if !(sq < vm && vm < st) {
+		t.Fatalf("unplug estimates out of order: squeezy=%v virtio-mem=%v static=%v", sq, vm, st)
+	}
+	if UnplugEstimate(m, faas.Squeezy, 0) != 0 {
+		t.Fatal("zero bytes must cost zero")
+	}
+}
+
+func TestReclaimAwarePrefersHostWithHeadroom(t *testing.T) {
+	// Host 0 is saturated (placing there means reclaiming first); host
+	// 1 has free memory: reclaim-aware must place on host 1.
+	c := newTestCluster(2, 8*units.GiB, faas.VirtioMem, "reclaim-aware")
+	if !c.Nodes[0].Host.TryCommit(units.BytesToPages(8 * units.GiB)) {
+		t.Fatal("setup commit failed")
+	}
+	fn := workload.ByName("BFS")
+	c.Invoke(fn, nil)
+	c.Sched.RunFor(15 * sim.Second)
+	if c.Nodes[1].VM(fn.Name) == nil {
+		t.Fatal("reclaim-aware placed on the saturated host despite an idle one")
+	}
+}
+
+func TestReclaimAwarePrefersCheaperBackendUnderDeficit(t *testing.T) {
+	// Two equally-full hosts whose backends differ: the policy must
+	// pick the one whose unplug path frees memory faster (Squeezy).
+	mkFull := func(kind faas.BackendKind) *Node {
+		c := newTestCluster(1, 4*units.GiB, kind, "reclaim-aware")
+		if !c.Nodes[0].Host.TryCommit(units.BytesToPages(4 * units.GiB)) {
+			t.Fatal("setup commit failed")
+		}
+		return c.Nodes[0]
+	}
+	slow := mkFull(faas.VirtioMem)
+	fast := mkFull(faas.Squeezy)
+	fast.ID = 1
+	p := NewPolicy("reclaim-aware", costmodel.Default())
+	if got := p.Pick([]*Node{slow, fast}, workload.ByName("BFS")); got != fast {
+		t.Fatalf("picked backend %v, want the Squeezy host", got.Backend)
+	}
+	// Headroom, by contrast, is indifferent between the two.
+	if a, b := slow.HeadroomPages(), fast.HeadroomPages(); a != b {
+		t.Fatalf("setup not symmetric: headroom %d vs %d", a, b)
+	}
+}
+
+// TestFleetDeterminism runs the same small fleet twice and requires
+// identical aggregate metrics — the property every cluster experiment
+// rests on.
+func TestFleetDeterminism(t *testing.T) {
+	run := func() Metrics {
+		c := newTestCluster(3, 16*units.GiB, faas.Squeezy, "reclaim-aware")
+		fleet := workload.Fleet(8)
+		traces := trace.GenFleet(42, trace.FleetConfig{
+			Funcs: 8, Duration: 40 * sim.Second,
+			TotalBaseRPS: 4, TotalBurstRPS: 20,
+		})
+		for _, inv := range trace.Merge(traces) {
+			fn := fleet[inv.Func]
+			c.Sched.At(inv.T, func() { c.Invoke(fn, nil) })
+		}
+		c.StartMemoryTicker(sim.Second, sim.Time(40*sim.Second))
+		c.Sched.RunUntil(sim.Time(60 * sim.Second))
+		return c.Metrics
+	}
+	a, b := run(), run()
+	if a.Invocations == 0 || a.ColdStarts == 0 {
+		t.Fatalf("degenerate run: %+v", a)
+	}
+	if a.Invocations != b.Invocations || a.ColdStarts != b.ColdStarts ||
+		a.WarmStarts != b.WarmStarts || a.Dropped != b.Dropped ||
+		a.ColdLatMs.P99() != b.ColdLatMs.P99() ||
+		a.Committed.Integral() != b.Committed.Integral() {
+		t.Fatalf("fleet run not deterministic:\n%+v\n%+v", a, b)
+	}
+}

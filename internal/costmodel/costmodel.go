@@ -21,6 +21,15 @@ package costmodel
 
 import "squeezy/internal/sim"
 
+// ReclaimDrainTimeout is the conservative upper bound the runtime
+// places on one round of pressure-driven reclamation: after this long,
+// the memory either arrived (and the broker granted its waiters) or the
+// unplug stalled and pressure must be raised again. It backstops the
+// broker's partial-pump re-raise; neither mechanism alone covers both
+// the "unplug never completes" and the "unplug completed but freed too
+// little" cases (§6.2.2).
+const ReclaimDrainTimeout = 5 * sim.Second
+
 // Model holds every tunable cost constant. Experiments copy and tweak a
 // Model for ablations; the zero value is unusable — start from Default.
 type Model struct {

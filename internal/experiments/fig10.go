@@ -25,17 +25,21 @@ type Fig10Run struct {
 	Dropped int
 }
 
-// Fig10Result is the full figure: the Abundant Memory baseline plus the
-// three methods under a host restricted to ~70% of the baseline's peak.
+// Fig10Result is the full figure: the Abundant Memory baselines plus
+// the three methods under a restricted host. Each method normalizes
+// against its own abundant run, as the paper does — otherwise backend
+// perks unrelated to the restriction (HarvestVM's instant buffer
+// scale-ups, say) leak into the normalized ratios.
 type Fig10Result struct {
-	Abundant Fig10Run
-	Runs     []Fig10Run
+	Abundant  Fig10Run
+	Baselines map[string]Fig10Run
+	Runs      []Fig10Run
 }
 
 // Fig10 reproduces §6.2.2 / Figure 10. Four N:1 VMs (one per Table 1
 // function) serve staggered bursts sized so that scale-ups must reuse
 // memory reclaimed from other functions' idle instances. With the host
-// capped at ~70% of the Abundant-Memory peak, slow reclamation stalls
+// capped below the Abundant-Memory peak, slow reclamation stalls
 // scale-ups and inflates tail latency (vanilla virtio-mem ≈3.15x);
 // HarvestVM's buffers help latency but hold extra memory; Squeezy keeps
 // both tail latency (≈1.1x) and the memory integral low.
@@ -44,13 +48,20 @@ func Fig10(opts Options) *Fig10Result {
 	// pressure, so Quick does not shrink this experiment (it runs in
 	// ~2 s of real time anyway).
 	duration := 320 * sim.Second
-	res := &Fig10Result{}
+	res := &Fig10Result{Baselines: make(map[string]Fig10Run)}
 	res.Abundant = fig10Run("abundant", faas.Squeezy, 0, duration, opts)
 	// The paper restricts the host to ~70% of the abundant peak; our
 	// synthetic bursts overlap less than the Azure traces, so a
-	// slightly tighter 60% produces the same pressure frequency.
-	capBytes := res.Abundant.PeakCommittedBytes * 2 / 3
+	// tighter 50% produces the same pressure frequency.
+	capBytes := res.Abundant.PeakCommittedBytes / 2
 	for _, kind := range []faas.BackendKind{faas.VirtioMem, faas.Harvest, faas.Squeezy} {
+		if kind == faas.Squeezy {
+			// The cap-sizing run already is the uncapped Squeezy
+			// configuration; don't simulate it a second time.
+			res.Baselines[kind.String()] = res.Abundant
+		} else {
+			res.Baselines[kind.String()] = fig10Run(kind.String()+"-abundant", kind, 0, duration, opts)
+		}
 		res.Runs = append(res.Runs, fig10Run(kind.String(), kind, capBytes, duration, opts))
 	}
 	return res
@@ -87,7 +98,13 @@ func fig10Run(label string, kind faas.BackendKind, hostCap int64, duration sim.D
 	for _, fn := range workload.Functions() {
 		cfg := faas.VMConfig{
 			Name: fn.Name + "-" + label, Kind: kind, Fn: fn, N: 14,
-			KeepAlive: 45 * sim.Second,
+			// Shorter than the stagger between burst waves (35 s), so a
+			// wave's instances age out before the next wave lands and
+			// its scale-ups must go through reclamation rather than the
+			// leftover warm pool — the regime the figure measures. At
+			// >= 33 s the warm pools bridge the stagger and every
+			// backend looks abundant.
+			KeepAlive: 32 * sim.Second,
 		}
 		if kind == faas.Harvest {
 			cfg.HarvestBufferBytes = 2 * units.AlignUp(fn.MemoryLimit, units.BlockSize)
@@ -128,9 +145,10 @@ func fig10Run(label string, kind faas.BackendKind, hostCap int64, duration sim.D
 	return run
 }
 
-// NormalizedP99 returns run's P99 over the abundant baseline's for fn.
+// NormalizedP99 returns run's P99 over the same method's abundant
+// baseline for fn.
 func (r *Fig10Result) NormalizedP99(method, fn string) float64 {
-	base := r.Abundant.P99Ms[fn]
+	base := r.Baselines[method].P99Ms[fn]
 	if base == 0 {
 		return 0
 	}

@@ -15,6 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "pluglat",
 		"abl-batching", "abl-zeroing", "abl-policy", "abl-partition",
+		"cluster-policies", "cluster-scale", "cluster-overcommit",
 	}
 	for _, n := range want {
 		if _, ok := Get(n); !ok {

@@ -38,7 +38,7 @@ func TestRunUnknownName(t *testing.T) {
 // worker pool: the same batch across 1 and 8 workers, 2 trials each,
 // must encode to identical bytes in every format.
 func TestRunParallelMatchesSerial(t *testing.T) {
-	names := []string{"fig5", "fig2", "abl-policy", "pluglat"}
+	names := []string{"fig5", "fig2", "abl-policy", "pluglat", "cluster-scale"}
 	opts := Options{Seed: 3, Quick: true}
 	const trials = 2
 	serial, err := Run(names, opts, trials, 1)

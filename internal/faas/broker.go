@@ -66,6 +66,12 @@ type Broker struct {
 	// Pump.
 	OnPressure func(deficitPages int64)
 
+	// OnReclaimed, when set, is invoked with the pages freed by a
+	// completed reclaim operation, before waiters are re-examined. The
+	// runtime uses it to retire its in-flight reclaim accounting as
+	// memory actually lands instead of waiting out the drain timer.
+	OnReclaimed func(pages int64)
+
 	reserved int64
 	waiters  []*Grant
 	pumping  bool
@@ -107,12 +113,17 @@ func (b *Broker) Acquire(pages int64, fn func(*Grant)) *Grant {
 	return g
 }
 
-// Pump re-examines queued grants after memory is released.
+// Pump re-examines queued grants after memory is released. A partial
+// pump — some grants issued, but the head waiter still starved —
+// re-raises OnPressure with the remaining deficit, so a reclaim round
+// that freed less than the queue needs triggers another round
+// immediately instead of waiting out the drain timer.
 func (b *Broker) Pump() {
 	if b.pumping {
 		return
 	}
 	b.pumping = true
+	issued := false
 	for len(b.waiters) > 0 {
 		g := b.waiters[0]
 		if b.FreePages() < g.pages {
@@ -121,9 +132,13 @@ func (b *Broker) Pump() {
 		b.waiters = b.waiters[1:]
 		g.granted = true
 		b.reserved += g.pages
+		issued = true
 		g.fn(g)
 	}
 	b.pumping = false
+	if issued && len(b.waiters) > 0 && b.OnPressure != nil {
+		b.OnPressure(b.QueuedPages() - max64(b.FreePages(), 0))
+	}
 }
 
 func max64(a, b int64) int64 {

@@ -3,9 +3,11 @@ package faas
 import (
 	"testing"
 
+	"squeezy/internal/costmodel"
 	"squeezy/internal/hostmem"
 	"squeezy/internal/sim"
 	"squeezy/internal/units"
+	"squeezy/internal/workload"
 )
 
 func TestBrokerImmediateGrant(t *testing.T) {
@@ -95,6 +97,158 @@ func TestGrantCancelIssuedReturnsReservation(t *testing.T) {
 	g1.Cancel() // returns the 8-page reservation
 	if !fired2 {
 		t.Fatal("cancel did not pump the queue")
+	}
+}
+
+// TestGrantCancelQueuedDuringEvictions cancels a queued grant while
+// the pressure-driven "evictions" it triggered are still in flight:
+// the reclaimed memory must flow past the cancelled waiter to the next
+// one, and the cancelled callback must never fire.
+func TestGrantCancelQueuedDuringEvictions(t *testing.T) {
+	s := sim.NewScheduler()
+	h := hostmem.New(units.PagesToBytes(100))
+	b := NewBroker(h, s)
+	h.TryCommit(100)
+
+	// Pressure handler models the runtime: schedule an async unplug
+	// that frees the deficit, then pumps.
+	evicting := false
+	b.OnPressure = func(deficit int64) {
+		if evicting {
+			return
+		}
+		evicting = true
+		s.After(sim.Second, func() {
+			h.Uncommit(deficit)
+			b.Pump()
+		})
+	}
+	g1 := b.Acquire(40, func(*Grant) { t.Fatal("cancelled grant fired") })
+	granted2 := false
+	b.Acquire(30, func(*Grant) { granted2 = true })
+	if !evicting {
+		t.Fatal("queued acquire did not raise pressure")
+	}
+	// Cancel the head waiter mid-eviction.
+	g1.Cancel()
+	if b.QueuedPages() != 30 {
+		t.Fatalf("queued = %d after cancel, want 30", b.QueuedPages())
+	}
+	s.Run()
+	if !granted2 {
+		t.Fatal("reclaimed memory did not reach the surviving waiter")
+	}
+}
+
+// TestBrokerReentrantFromPumpCallback consumes and cancels grants from
+// inside Pump-issued callbacks, including a re-entrant Acquire: the
+// waiter list and reservation accounting must stay consistent.
+func TestBrokerReentrantFromPumpCallback(t *testing.T) {
+	s := sim.NewScheduler()
+	h := hostmem.New(units.PagesToBytes(100))
+	b := NewBroker(h, s)
+	h.TryCommit(100)
+
+	var g3 *Grant
+	var order []int
+	b.Acquire(20, func(g *Grant) {
+		order = append(order, 1)
+		// Consume re-entrantly (the VM committed its memory)...
+		h.TryCommit(g.pages)
+		g.Consume()
+		// ...cancel a grant still queued behind us...
+		g3.Cancel()
+		// ...and acquire again from inside the callback.
+		b.Acquire(10, func(*Grant) { order = append(order, 4) })
+	})
+	b.Acquire(30, func(*Grant) { order = append(order, 2) })
+	g3 = b.Acquire(15, func(*Grant) { t.Fatal("cancelled grant fired") })
+
+	// Free everything: the pump must grant 1, then 2, skip the
+	// cancelled 3, then the re-entrant 4.
+	h.Uncommit(100)
+	b.Pump()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 4 {
+		t.Fatalf("grant order = %v, want [1 2 4]", order)
+	}
+	if b.QueuedPages() != 0 {
+		t.Fatalf("queued = %d after full drain", b.QueuedPages())
+	}
+	// Committed 20 (consumed grant 1) + reserved 40 (grants 2 and 4).
+	if got := b.FreePages(); got != 100-20-40 {
+		t.Fatalf("free = %d, want %d", got, 100-60)
+	}
+}
+
+// TestPumpPartialReRaisesPressure checks the stalled-scale-up fix: a
+// pump that grants some waiters but leaves the head starved must
+// re-raise OnPressure with the remaining deficit instead of waiting
+// for the drain timer.
+func TestPumpPartialReRaisesPressure(t *testing.T) {
+	s := sim.NewScheduler()
+	h := hostmem.New(units.PagesToBytes(100))
+	b := NewBroker(h, s)
+	h.TryCommit(100)
+	b.Acquire(10, func(*Grant) {})
+	b.Acquire(30, func(*Grant) {})
+
+	var raised []int64
+	b.OnPressure = func(d int64) { raised = append(raised, d) }
+	// Free 15: enough for the head (10), not the second (30).
+	h.Uncommit(15)
+	b.Pump()
+	if len(raised) != 1 {
+		t.Fatalf("pressure raised %d times, want 1 (partial pump)", len(raised))
+	}
+	// Remaining deficit: 30 queued - 5 free = 25.
+	if raised[0] != 25 {
+		t.Fatalf("re-raised deficit = %d, want 25", raised[0])
+	}
+	// A pump that grants nothing must not re-raise (no progress, the
+	// drain timer owns that case).
+	raised = nil
+	b.Pump()
+	if len(raised) != 0 {
+		t.Fatalf("no-progress pump re-raised pressure %d times", len(raised))
+	}
+}
+
+// TestRuntimeRetiresReclaimOnCompletion drives the real pressure path:
+// a scale-up on a full host evicts an idle instance, and when the
+// unplug completes the runtime's in-flight accounting must retire
+// immediately — not linger until the drain timer — so follow-up
+// pressure rounds see the true deficit.
+func TestRuntimeRetiresReclaimOnCompletion(t *testing.T) {
+	s := sim.NewScheduler()
+	// Capacity = VM boot commit (256 MiB boot + 640 MiB shared cache)
+	// plus exactly one 768 MiB instance: the second function's cold
+	// start can only be served by evicting the first's idle instance.
+	h := hostmem.New((256 + 640 + 768) * units.MiB)
+	rt := NewRuntime(s, h, costmodel.Default())
+	html := workload.ByName("HTML")
+	bfs := workload.ByName("BFS")
+	fv := rt.AddVM(VMConfig{
+		Name: "vm", Kind: VirtioMem, Fn: html, CoFns: []*workload.Function{bfs},
+		N: 2, KeepAlive: 5 * sim.Minute,
+	})
+	fv.Invoke(html, nil)
+	s.RunUntil(sim.Time(20 * sim.Second)) // HTML instance now idle
+
+	var res *Result
+	fv.Invoke(bfs, func(r Result) { res = &r })
+	// Run past the eviction+unplug (~1 s) but before the drain timer
+	// (fires 5 s after the eviction starts).
+	s.RunUntil(sim.Time(23 * sim.Second))
+	if rt.ReclaimInFlightPages() != 0 {
+		t.Fatalf("in-flight = %d pages after the unplug completed; accounting stuck until the drain timer",
+			rt.ReclaimInFlightPages())
+	}
+	s.RunUntil(sim.Time(60 * sim.Second))
+	if res == nil || res.Dropped {
+		t.Fatalf("BFS cold start did not complete: %+v", res)
+	}
+	if res.Phases.MemWait <= 0 || res.Phases.MemWait > 3*sim.Second {
+		t.Fatalf("mem wait = %v, want one unplug's worth (0, 3s]", res.Phases.MemWait)
 	}
 }
 

@@ -1,0 +1,53 @@
+package faas
+
+import (
+	"testing"
+
+	"squeezy/internal/costmodel"
+	"squeezy/internal/hostmem"
+	"squeezy/internal/sim"
+	"squeezy/internal/units"
+	"squeezy/internal/workload"
+)
+
+// TestEveryRequestCompletesExactlyOnce churns a memory-tight VM with
+// overlapping invocations of two functions so requests queue at the
+// broker while warm instances come and go. Every request must complete
+// exactly once: a request served warm while its grant was still queued
+// used to also cold-start when the grant later issued (completing — and
+// executing — twice), which silently inflated every throughput and
+// latency metric built on completions.
+func TestEveryRequestCompletesExactlyOnce(t *testing.T) {
+	s := sim.NewScheduler()
+	h := hostmem.New(3 * units.GiB)
+	rt := NewRuntime(s, h, costmodel.Default())
+	html := workload.ByName("HTML")
+	bfs := workload.ByName("BFS")
+	fv := rt.AddVM(VMConfig{
+		Name: "vm", Kind: VirtioMem, Fn: html, CoFns: []*workload.Function{bfs},
+		N: 4, KeepAlive: 10 * sim.Second,
+	})
+	total := 0
+	completions := map[int]int{}
+	for i := 0; i < 60; i++ {
+		i := i
+		fn := html
+		if i%3 == 0 {
+			fn = bfs
+		}
+		at := sim.Time(i%20) * sim.Time(2*sim.Second)
+		s.At(at, func() {
+			total++
+			fv.Invoke(fn, func(Result) { completions[i]++ })
+		})
+	}
+	s.Run()
+	for i, c := range completions {
+		if c != 1 {
+			t.Errorf("request %d completed %d times", i, c)
+		}
+	}
+	if len(completions) != total {
+		t.Errorf("%d of %d requests never completed", total-len(completions), total)
+	}
+}

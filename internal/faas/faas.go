@@ -136,6 +136,12 @@ type request struct {
 	granted    sim.Time // when memory was granted
 	memWaited  sim.Duration
 	retries    int // OOM-retry attempts (movable backends)
+	// detached marks a scale-up whose triggering request was served by
+	// a warm instance while its grant was still queued. The scale-up
+	// proceeds — the instance is provisioned into the warm pool, as the
+	// agent already committed to creating it — but the request itself
+	// must not run or complete a second time.
+	detached bool
 }
 
 type reqState int
@@ -174,6 +180,37 @@ type VMConfig struct {
 	HarvestBufferBytes int64
 }
 
+// sizes derives the block-aligned memory geometry of a VM with this
+// config: per-instance size, kernel boot span (guest OS plus a fixed
+// working pad), and the shared page cache (rootfs/deps of all
+// co-located functions plus 25% headroom). NewFuncVM builds the VM
+// from exactly these numbers and BootFootprintBytes predicts its boot
+// commit from them, so the admission estimate cannot drift from the
+// real boot cost.
+func (cfg VMConfig) sizes() (instBytes, bootBytes, sharedBytes int64) {
+	instBytes = units.AlignUp(cfg.Fn.MemoryLimit, units.BlockSize)
+	bootBytes = units.AlignUp(cfg.Fn.GuestOSBytes+64*units.MiB, units.BlockSize)
+	sharedNeed := cfg.Fn.FileSharedBytes
+	for _, co := range cfg.CoFns {
+		sharedNeed += co.FileSharedBytes
+	}
+	sharedBytes = units.AlignUp(sharedNeed*5/4, units.BlockSize)
+	return instBytes, bootBytes, sharedBytes
+}
+
+// BootFootprintBytes returns the host memory a VM with this config
+// commits at boot, before serving any request: kernel boot memory plus
+// the shared page cache backing, and — for the Static backend — the
+// fully-onlined movable span. Dispatchers use it to avoid booting a VM
+// on a host that cannot back it (NewFuncVM panics in that case).
+func (cfg VMConfig) BootFootprintBytes() int64 {
+	instBytes, boot, shared := cfg.sizes()
+	if cfg.Kind == Static {
+		return boot + int64(cfg.N)*instBytes + shared
+	}
+	return boot + shared
+}
+
 // FuncVM is one N:1 VM with its in-guest agent state.
 type FuncVM struct {
 	Cfg    VMConfig
@@ -193,6 +230,14 @@ type FuncVM struct {
 
 	harvestBuffer int64 // plugged-but-unassigned bytes (Harvest)
 	rng           *rand.Rand
+
+	// pressureNext marks the next unplug as pressure-initiated (set by
+	// the runtime around pressure evictions); unplugOrigins remembers
+	// the origin of each in-flight unplug in issue order, so completed
+	// reclaims retire the runtime's in-flight accounting only when the
+	// runtime was actually waiting on them.
+	pressureNext  bool
+	unplugOrigins []bool
 
 	pumping, pumpAgain bool
 
@@ -218,7 +263,12 @@ func NewFuncVM(sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model, 
 	if cfg.KeepAlive <= 0 {
 		cfg.KeepAlive = 2 * sim.Minute
 	}
-	instBytes := units.AlignUp(cfg.Fn.MemoryLimit, units.BlockSize)
+	instBytes, bootBytes, sharedBytes := cfg.sizes()
+	for _, co := range cfg.CoFns {
+		if units.AlignUp(co.MemoryLimit, units.BlockSize) != instBytes {
+			panic(fmt.Sprintf("faas: co-located function %s has a different memory limit", co.Name))
+		}
+	}
 	vcpus := cfg.VCPUs
 	if vcpus <= 0 {
 		vcpus = cfg.Fn.CPUShares * float64(cfg.N)
@@ -230,14 +280,6 @@ func NewFuncVM(sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model, 
 	if cfg.PinReclaim {
 		vm.PinReclaimThreads()
 	}
-	sharedNeed := cfg.Fn.FileSharedBytes
-	for _, co := range cfg.CoFns {
-		if units.AlignUp(co.MemoryLimit, units.BlockSize) != instBytes {
-			panic(fmt.Sprintf("faas: co-located function %s has a different memory limit", co.Name))
-		}
-		sharedNeed += co.FileSharedBytes
-	}
-	sharedBytes := units.AlignUp(sharedNeed*5/4, units.BlockSize)
 
 	h := fnv.New64a()
 	h.Write([]byte(cfg.Name))
@@ -255,7 +297,7 @@ func NewFuncVM(sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model, 
 	switch cfg.Kind {
 	case Squeezy:
 		fv.K = guestos.NewKernel(vm, guestos.Config{
-			BootBytes:           units.AlignUp(cfg.Fn.GuestOSBytes+64*units.MiB, units.BlockSize),
+			BootBytes:           bootBytes,
 			MovableBytes:        0,
 			KernelResidentBytes: cfg.Fn.GuestOSBytes,
 		})
@@ -270,7 +312,7 @@ func NewFuncVM(sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model, 
 		// page cache.
 		movable := int64(cfg.N)*instBytes + sharedBytes
 		fv.K = guestos.NewKernel(vm, guestos.Config{
-			BootBytes:           units.AlignUp(cfg.Fn.GuestOSBytes+64*units.MiB, units.BlockSize),
+			BootBytes:           bootBytes,
 			MovableBytes:        movable,
 			KernelResidentBytes: cfg.Fn.GuestOSBytes,
 		})
@@ -338,15 +380,15 @@ func (fv *FuncVM) dispatchOne() bool {
 	// Warm path: any queued request whose function has an idle
 	// instance runs immediately, even if it was waiting for memory
 	// (§6.2.2: delayed scale-ups fall back to already-alive instances).
+	// An in-flight scale-up detaches rather than cancels: its grant
+	// stays queued and the instance, once memory arrives, joins the
+	// warm pool (the agent already decided the extra capacity was
+	// needed) — but the request runs exactly once, here.
 	for i, req := range fv.queue {
 		if inst := fv.takeIdle(req.fn); inst != nil {
 			fv.removeQueued(i)
-			if req.grant != nil {
-				req.grant.Cancel()
-				req.grant = nil
-			}
 			if req.state == reqAcquiring {
-				fv.starting--
+				req.detached = true // keep `starting` reserved for the provision
 			}
 			req.state = reqStarted
 			fv.runWarm(inst, req)
@@ -408,12 +450,19 @@ func (fv *FuncVM) acquireMemory(req *request) {
 
 func (fv *FuncVM) acquireViaBroker(req *request) {
 	pages := units.BytesToPages(fv.instBytes)
-	fv.Broker.Acquire(pages, func(g *Grant) {
+	g := fv.Broker.Acquire(pages, func(g *Grant) {
 		req.grant = g
 		req.granted = fv.Sched.Now()
 		req.memWaited = req.granted.Sub(req.arrival)
 		fv.startCold(req)
 	})
+	if !g.Granted() {
+		// Still queued at the broker: record the grant so the request's
+		// scale-up state is complete while it waits (the issue callback
+		// reassigns the same grant). Detached scale-ups keep it queued
+		// on purpose — see dispatchOne's warm path.
+		req.grant = g
+	}
 }
 
 // startCold removes the request from the queue and runs the scale-up
@@ -424,6 +473,13 @@ func (fv *FuncVM) startCold(req *request) {
 	plugStart := fv.Sched.Now()
 	afterPlug := func(ok bool) {
 		if !ok {
+			if req.detached {
+				// The triggering request already ran warm; abandon the
+				// provision instead of re-queueing a request that must
+				// not run again.
+				fv.abandonProvision(req)
+				return
+			}
 			// Transient: an in-flight unplug still owns the partition
 			// or the host raced us. Retry shortly; drop only after
 			// repeated failures.
@@ -480,6 +536,10 @@ func (fv *FuncVM) spawnInstance(req *request, vmmDelay sim.Duration) {
 	begin := func() {
 		fv.starting--
 		fv.instances[inst] = struct{}{}
+		if req.detached {
+			fv.runProvisionPhases(inst)
+			return
+		}
 		fv.runColdPhases(inst, req, phases)
 	}
 	if fv.Cfg.Kind == Squeezy {
@@ -487,6 +547,81 @@ func (fv *FuncVM) spawnInstance(req *request, vmmDelay sim.Duration) {
 		return
 	}
 	begin()
+}
+
+// runProvisionPhases boots a detached scale-up's instance into the
+// warm pool: container init and function init run as in a cold start,
+// but there is no request to execute — the instance idles, ready for
+// the next invocation (or for keep-alive eviction).
+func (fv *FuncVM) runProvisionPhases(inst *Instance) {
+	fn := inst.fn
+	k := fv.K
+	rootfs := k.File(fn.Name+"/rootfs", fn.FileSharedBytes)
+	fileWork, okFile := k.TouchFile(inst.proc, rootfs, fn.FileSharedBytes)
+	privWork, okPriv := k.TouchAnon(inst.proc, fn.FilePrivateBytes, guestos.HugeOrder)
+	if !okFile || !okPriv {
+		fv.abortProvision(inst)
+		return
+	}
+	fv.VM.VCPUs.Submit(fn.ContainerInitCPU+fileWork+privWork, cpu.Config{
+		Name: fn.Name + "/container", Class: "container", Weight: 1, Cap: 1,
+		OnDone: func() {
+			initWork, ok := k.TouchAnon(inst.proc, fn.InitAnonBytes(), guestos.HugeOrder)
+			if !ok {
+				fv.abortProvision(inst)
+				return
+			}
+			fv.VM.VCPUs.Submit(fn.FuncInitCPU+initWork, cpu.Config{
+				Name: fn.Name + "/init", Class: "function", Weight: fn.CPUShares, Cap: maxf(fn.CPUShares, 0.1),
+				OnDone: func() {
+					// First execution warms the instance (touching its
+					// exec footprint), exactly as the request would
+					// have — the work was already committed when the
+					// scale-up was issued; only the completion event
+					// belongs to the warm instance that served it.
+					execWork, ok := k.TouchAnon(inst.proc, fn.ExecAnonBytes(), guestos.HugeOrder)
+					if !ok {
+						fv.abortProvision(inst)
+						return
+					}
+					fv.VM.VCPUs.Submit(fn.ExecCPU+execWork, cpu.Config{
+						Name: fn.Name + "/exec", Class: "function", Weight: fn.CPUShares, Cap: maxf(fn.CPUShares, 0.1),
+						OnDone: func() { fv.idleInstance(inst) },
+					})
+				},
+			})
+		},
+	})
+}
+
+// abandonProvision gives up on a detached scale-up whose plug failed.
+func (fv *FuncVM) abandonProvision(req *request) {
+	fv.starting--
+	if req.grant != nil {
+		req.grant.Cancel()
+		req.grant = nil
+	}
+	fv.pump()
+}
+
+// abortProvision kills a provisioning instance that overran guest
+// memory; unlike a request-carrying cold start there is nothing to
+// retry.
+func (fv *FuncVM) abortProvision(inst *Instance) {
+	delete(fv.instances, inst)
+	fv.K.Exit(inst.proc)
+	fv.releaseInstanceMemory()
+	fv.pump()
+}
+
+// idleInstance parks an instance in the warm pool and arms its
+// keep-alive timer.
+func (fv *FuncVM) idleInstance(inst *Instance) {
+	inst.state = instIdle
+	inst.idleSince = fv.Sched.Now()
+	fv.idle = append(fv.idle, inst)
+	inst.kaEvent = fv.Sched.After(fv.Cfg.KeepAlive, func() { fv.Evict(inst) })
+	fv.pump()
 }
 
 // runColdPhases executes container init, function init and the first
@@ -685,14 +820,18 @@ func (fv *FuncVM) EvictOldestIdle() bool {
 // releaseInstanceMemory reclaims one instance's memory via the backend.
 func (fv *FuncVM) releaseInstanceMemory() {
 	start := fv.Sched.Now()
+	pressure := fv.pressureNext
+	fv.pressureNext = false
 	switch fv.Cfg.Kind {
 	case Static:
 		return
 	case Squeezy:
+		fv.unplugOrigins = append(fv.unplugOrigins, pressure)
 		fv.sq.Unplug(1, func(res core.UnplugResult) {
 			fv.recordReclaim(res.ReclaimedBytes, fv.Sched.Now().Sub(start))
 		})
 	case VirtioMem:
+		fv.unplugOrigins = append(fv.unplugOrigins, pressure)
 		fv.vmem.Unplug(fv.instBytes, func(res virtiomem.UnplugResult) {
 			fv.recordReclaim(res.ReclaimedBytes, fv.Sched.Now().Sub(start))
 		})
@@ -704,6 +843,7 @@ func (fv *FuncVM) releaseInstanceMemory() {
 			fv.harvestBuffer += fv.instBytes
 			return
 		}
+		fv.unplugOrigins = append(fv.unplugOrigins, pressure)
 		fv.vmem.Unplug(fv.instBytes, func(res virtiomem.UnplugResult) {
 			fv.recordReclaim(res.ReclaimedBytes, fv.Sched.Now().Sub(start))
 		})
@@ -722,6 +862,8 @@ func (fv *FuncVM) ReleaseHarvestBuffer(bytes int64) int64 {
 	}
 	fv.harvestBuffer -= take
 	start := fv.Sched.Now()
+	// Buffer releases only happen on pressure response.
+	fv.unplugOrigins = append(fv.unplugOrigins, true)
 	fv.vmem.Unplug(take, func(res virtiomem.UnplugResult) {
 		fv.recordReclaim(res.ReclaimedBytes, fv.Sched.Now().Sub(start))
 	})
@@ -732,6 +874,19 @@ func (fv *FuncVM) recordReclaim(bytes int64, took sim.Duration) {
 	fv.ReclaimedBytes += bytes
 	fv.ReclaimTime += took
 	fv.ReclaimOps++
+	// Per-VM unplugs complete in issue order, so the oldest origin
+	// entry is this reclaim's. Only pressure-initiated reclaims retire
+	// the runtime's in-flight accounting — a keep-alive unplug landing
+	// mid-pressure must not make the runtime forget memory it is still
+	// owed, or it over-evicts into an eviction storm.
+	pressure := false
+	if len(fv.unplugOrigins) > 0 {
+		pressure = fv.unplugOrigins[0]
+		fv.unplugOrigins = fv.unplugOrigins[1:]
+	}
+	if pressure && fv.Broker.OnReclaimed != nil {
+		fv.Broker.OnReclaimed(units.BytesToPages(bytes))
+	}
 	fv.Broker.Pump()
 }
 

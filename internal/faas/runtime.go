@@ -23,7 +23,15 @@ type Runtime struct {
 	// ahead of demand (§6.2.2).
 	ProactiveFactor float64
 
-	reclaimInFlight int64 // pages expected from in-flight evictions
+	reclaimInFlight int64         // pages expected from in-flight evictions
+	reclaimRecs     []*reclaimRec // outstanding evictions, oldest first
+}
+
+// reclaimRec tracks one started eviction's not-yet-arrived pages, so
+// completed reclaims retire exactly the share they delivered and the
+// drain timer only writes off what its own eviction still owes.
+type reclaimRec struct {
+	pages int64
 }
 
 // NewRuntime creates a runtime over a host pool.
@@ -36,6 +44,7 @@ func NewRuntime(sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model)
 		ProactiveFactor: 1.0,
 	}
 	r.Broker.OnPressure = r.handlePressure
+	r.Broker.OnReclaimed = r.noteReclaimCompleted
 	return r
 }
 
@@ -73,6 +82,7 @@ func (r *Runtime) handlePressure(deficitPages int64) {
 			return // nothing evictable; waiters stay queued
 		}
 		pages := units.BytesToPages(fv.instBytes)
+		fv.pressureNext = true // tag the unplug as pressure-initiated
 		fv.EvictOldestIdle()
 		r.noteReclaimStarted(fv, pages)
 		target -= pages
@@ -80,26 +90,80 @@ func (r *Runtime) handlePressure(deficitPages int64) {
 }
 
 // noteReclaimStarted tracks in-flight reclamation so overlapping
-// pressure signals don't over-evict; the counter drains on a timer
-// since unplug completion is observed indirectly via Broker.Pump.
+// pressure signals don't over-evict. The accounting retires through
+// two paths: completed reclaims retire their delivered pages promptly
+// (noteReclaimCompleted, via Broker.OnReclaimed), and a drain timer
+// writes off whatever this eviction still owes — the unplug stalled,
+// or delivered less than expected — and re-raises pressure.
 func (r *Runtime) noteReclaimStarted(fv *FuncVM, pages int64) {
 	if pages <= 0 {
 		return
 	}
+	rec := &reclaimRec{pages: pages}
+	r.reclaimRecs = append(r.reclaimRecs, rec)
 	r.reclaimInFlight += pages
-	// Conservative upper bound on reclaim latency; afterwards the
-	// memory either arrived (and Pump granted waiters) or the unplug
-	// failed and pressure may fire again.
-	r.Sched.After(5*sim.Second, func() {
-		r.reclaimInFlight -= pages
-		if r.reclaimInFlight < 0 {
-			r.reclaimInFlight = 0
-		}
+	r.Sched.After(costmodel.ReclaimDrainTimeout, func() {
+		r.reclaimInFlight -= rec.pages
+		rec.pages = 0
+		r.dropSettledRecs()
 		r.Broker.Pump()
 		if r.Broker.QueuedPages() > 0 {
 			r.handlePressure(r.Broker.QueuedPages())
 		}
 	})
+}
+
+// noteReclaimCompleted retires in-flight accounting as reclaimed pages
+// actually land, consuming the oldest outstanding evictions first.
+// Without it the counter would stay inflated until the drain timer and
+// suppress the pressure re-raise of a partial pump (Broker.Pump), and
+// starved waiters would stall the full timeout.
+func (r *Runtime) noteReclaimCompleted(pages int64) {
+	for pages > 0 && len(r.reclaimRecs) > 0 {
+		rec := r.reclaimRecs[0]
+		take := rec.pages
+		if pages < take {
+			take = pages
+		}
+		rec.pages -= take
+		r.reclaimInFlight -= take
+		pages -= take
+		if rec.pages == 0 {
+			r.reclaimRecs = r.reclaimRecs[1:]
+		}
+	}
+}
+
+// dropSettledRecs prunes fully-retired records after a timer write-off
+// (completed records at the head are pruned inline by
+// noteReclaimCompleted).
+func (r *Runtime) dropSettledRecs() {
+	keep := r.reclaimRecs[:0]
+	for _, rec := range r.reclaimRecs {
+		if rec.pages > 0 {
+			keep = append(keep, rec)
+		}
+	}
+	r.reclaimRecs = keep
+}
+
+// ReclaimInFlightPages returns the pages expected from in-flight
+// pressure evictions — memory that is on its way back to the pool but
+// not yet free. Placement policies use it to judge how much of a host's
+// deficit is already being paid down.
+func (r *Runtime) ReclaimInFlightPages() int64 { return r.reclaimInFlight }
+
+// IdleReclaimablePages returns the pages the runtime could start
+// reclaiming right now: idle instances plus plugged slack buffers. A
+// deficit beyond this number is stranded until a keep-alive expires —
+// the stall placement policies most want to avoid.
+func (r *Runtime) IdleReclaimablePages() int64 {
+	var pages int64
+	for _, fv := range r.VMs {
+		pages += int64(fv.IdleInstances()) * units.BytesToPages(fv.InstanceBytes())
+		pages += units.BytesToPages(fv.HarvestBufferBytes())
+	}
+	return pages
 }
 
 func (r *Runtime) oldestIdleVM() *FuncVM {

@@ -10,6 +10,7 @@
 package trace
 
 import (
+	"math"
 	"math/rand/v2"
 	"sort"
 
@@ -111,6 +112,84 @@ func GenTopTen(seed uint64, duration sim.Duration) []*Trace {
 		})
 	}
 	return traces
+}
+
+// FleetConfig parameterizes the fleet generator: many functions whose
+// popularity follows a Zipf law, each driven by the bursty generator.
+type FleetConfig struct {
+	// Funcs is the number of functions in the fleet.
+	Funcs int
+	// Duration is the trace length.
+	Duration sim.Duration
+	// ZipfS is the popularity exponent: function of rank r carries
+	// weight 1/r^s of the aggregate rate. 0 selects 1.1, close to the
+	// skew of the Azure production traces [66].
+	ZipfS float64
+	// TotalBaseRPS is the fleet-aggregate quiet-period rate; each
+	// function receives its Zipf share.
+	TotalBaseRPS float64
+	// TotalBurstRPS is the fleet-aggregate in-burst rate.
+	TotalBurstRPS float64
+	// BurstLen and BurstGap shape each function's bursts (defaults
+	// 20 s / 45 s). Burst phases are independent across functions, so
+	// fleet load is bursty but rarely synchronized.
+	BurstLen sim.Duration
+	BurstGap sim.Duration
+}
+
+// GenFleet synthesizes one bursty trace per function, with aggregate
+// rates split across functions by Zipf popularity: a handful of hot
+// functions dominate, followed by a long tail of rarely-invoked ones —
+// the shape that makes fleet placement interesting (hot functions need
+// instances everywhere; the tail pays a cold start almost every time).
+// The same seed always yields the same traces.
+func GenFleet(seed uint64, cfg FleetConfig) []*Trace {
+	if cfg.Funcs <= 0 {
+		return nil
+	}
+	s := cfg.ZipfS
+	if s == 0 {
+		s = 1.1
+	}
+	burstLen, burstGap := cfg.BurstLen, cfg.BurstGap
+	if burstLen <= 0 {
+		burstLen = 20 * sim.Second
+	}
+	if burstGap <= 0 {
+		burstGap = 45 * sim.Second
+	}
+	weights := make([]float64, cfg.Funcs)
+	var total float64
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -s)
+		total += weights[i]
+	}
+	traces := make([]*Trace, cfg.Funcs)
+	for i := range traces {
+		share := weights[i] / total
+		traces[i] = GenBursty(fleetSeed(seed, uint64(i)), BurstyConfig{
+			Duration: cfg.Duration,
+			BaseRPS:  cfg.TotalBaseRPS * share,
+			BurstRPS: cfg.TotalBurstRPS * share,
+			BurstLen: burstLen,
+			BurstGap: burstGap,
+		})
+	}
+	return traces
+}
+
+// fleetSeed derives function i's seed by mixing (seed, i) through the
+// splitmix64 finalizer, so per-function streams stay well separated
+// even across adjacent base seeds (the same construction as the
+// experiment runner's per-trial seeds).
+func fleetSeed(seed, i uint64) uint64 {
+	x := seed + (i+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
 }
 
 // Merge combines traces into one sorted stream, tagging each invocation

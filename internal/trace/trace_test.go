@@ -179,3 +179,62 @@ func TestPeakConcurrency(t *testing.T) {
 		t.Fatalf("peak = %d, want 1", got)
 	}
 }
+
+func TestGenFleetZipfShape(t *testing.T) {
+	cfg := FleetConfig{
+		Funcs: 50, Duration: 5 * sim.Minute,
+		TotalBaseRPS: 10, TotalBurstRPS: 60,
+	}
+	traces := GenFleet(3, cfg)
+	if len(traces) != 50 {
+		t.Fatalf("fleet size = %d", len(traces))
+	}
+	// Popularity must decay: the head rank dominates the mid-tail.
+	if traces[0].Len() <= traces[25].Len() {
+		t.Fatalf("rank 0 (%d) not hotter than rank 25 (%d)", traces[0].Len(), traces[25].Len())
+	}
+	// The tail still gets some traffic over 5 minutes.
+	total := 0
+	for _, tr := range traces {
+		total += tr.Len()
+	}
+	if total == 0 {
+		t.Fatal("empty fleet trace")
+	}
+	// Determinism: same seed, same fleet.
+	again := GenFleet(3, cfg)
+	for i := range traces {
+		if len(traces[i].Times) != len(again[i].Times) {
+			t.Fatalf("func %d not deterministic", i)
+		}
+	}
+	// Seed sensitivity.
+	other := GenFleet(4, cfg)
+	same := true
+	for i := range traces {
+		if len(traces[i].Times) != len(other[i].Times) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fleets")
+	}
+}
+
+func TestGenFleetEmptyAndDefaults(t *testing.T) {
+	if GenFleet(1, FleetConfig{}) != nil {
+		t.Fatal("zero functions must yield nil")
+	}
+	// Defaults (ZipfS, burst shape) must not panic and must honor the
+	// aggregate rate roughly.
+	traces := GenFleet(1, FleetConfig{Funcs: 4, Duration: sim.Minute, TotalBaseRPS: 12, TotalBurstRPS: 12})
+	total := 0
+	for _, tr := range traces {
+		total += tr.Len()
+	}
+	// ~12 rps for 60 s = ~720 invocations; allow wide tolerance.
+	if total < 360 || total > 1440 {
+		t.Fatalf("aggregate invocations = %d, want ~720", total)
+	}
+}

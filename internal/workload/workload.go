@@ -12,6 +12,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"squeezy/internal/guestos"
 	"squeezy/internal/sim"
 	"squeezy/internal/units"
@@ -96,6 +98,22 @@ func Functions() []*Function {
 			GuestOSBytes: 180 * units.MiB,
 		},
 	}
+}
+
+// Fleet synthesizes n functions for fleet-scale experiments by cycling
+// the four Table-1 profiles under distinct names ("f003-Bert"). Ranks
+// are meant to be paired with trace.GenFleet, whose Zipf split makes
+// low-numbered functions hot and the tail cold; the profiles themselves
+// are unchanged so per-function behavior stays calibrated.
+func Fleet(n int) []*Function {
+	base := Functions()
+	fleet := make([]*Function, n)
+	for i := range fleet {
+		f := *base[i%len(base)]
+		f.Name = fmt.Sprintf("f%03d-%s", i, f.Name)
+		fleet[i] = &f
+	}
+	return fleet
 }
 
 // ByName returns the Table 1 function with the given name.
