@@ -21,6 +21,8 @@
 //	             byte-identical to -parallel 1
 //	-format F    text, json, or csv
 //	-o FILE      write output to FILE instead of stdout
+//	-cpuprofile FILE  write a pprof CPU profile of the run to FILE
+//	-memprofile FILE  write a pprof heap profile at exit to FILE
 package main
 
 import (
@@ -29,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"squeezy/internal/experiments"
 )
@@ -40,6 +44,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 	format := flag.String("format", "text", "output format: text, json, or csv")
 	outPath := flag.String("o", "", "write output to this file instead of stdout")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -100,6 +106,7 @@ func main() {
 		os.Exit(2)
 	}
 	out := io.Writer(os.Stdout)
+	finishOutput := func() error { return nil }
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
@@ -107,24 +114,62 @@ func main() {
 			os.Exit(1)
 		}
 		bw := bufio.NewWriter(f)
-		defer func() {
-			// A failed flush (e.g. ENOSPC) must not exit 0 with a
-			// truncated results file.
+		// Called after encoding: a failed flush (e.g. ENOSPC) must not
+		// exit 0 with a truncated results file.
+		finishOutput = func() error {
 			ferr := bw.Flush()
 			cerr := f.Close()
 			if ferr == nil {
 				ferr = cerr
 			}
-			if ferr != nil {
-				fmt.Fprintln(os.Stderr, "squeezyctl:", ferr)
-				os.Exit(1)
-			}
-		}()
+			return ferr
+		}
 		out = bw
+	}
+
+	// Profiling brackets only the experiment runs, not flag parsing or
+	// encoding, so profiles from different PRs compare like for like.
+	var cpuFile *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "squeezyctl:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "squeezyctl:", err)
+			os.Exit(1)
+		}
+		cpuFile = f
 	}
 
 	opts := experiments.Options{Seed: *seed, Quick: *quick}
 	reports, err := experiments.Run(names, opts, *trials, *parallel)
+
+	var profErr error
+	if cpuFile != nil {
+		// A failed close can mean a truncated profile (ENOSPC, NFS);
+		// surface it like the memprofile path does.
+		pprof.StopCPUProfile()
+		profErr = cpuFile.Close()
+	}
+	if *memProfile != "" {
+		f, merr := os.Create(*memProfile)
+		if merr == nil {
+			runtime.GC() // settle the heap so the profile shows retained memory
+			merr = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); merr == nil {
+				merr = cerr
+			}
+		}
+		if profErr == nil {
+			profErr = merr
+		}
+	}
+
+	// The experiment error is the primary failure; a broken profile
+	// path must not mask it — and must not discard the report either,
+	// so the profErr exit waits until the results are written out.
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "squeezyctl:", err)
 		os.Exit(2)
@@ -138,8 +183,17 @@ func main() {
 	case "csv":
 		err = experiments.EncodeCSV(out, reports)
 	}
+	if err == nil {
+		err = finishOutput()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "squeezyctl:", err)
+		os.Exit(1)
+	}
+	// Results are safely written; only now may a profiling failure
+	// surface as the exit status.
+	if profErr != nil {
+		fmt.Fprintln(os.Stderr, "squeezyctl:", profErr)
 		os.Exit(1)
 	}
 }

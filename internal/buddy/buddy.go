@@ -11,6 +11,13 @@
 // order is deterministic (most-recently-freed first, like the kernel's
 // hot/cold page behaviour) and removing an arbitrary chunk during
 // coalescing or isolation is O(1) amortized.
+//
+// For the hot-unplug paths the allocator also keeps bulk range state:
+// with TrackRegions enabled it maintains a free-page counter per
+// fixed-size region (the caller's hotplug block), so FreeInRange over a
+// region-aligned range — the per-block occupancy question every unplug
+// candidate scan asks — is O(regions) array reads instead of an O(span)
+// page walk, and IsolateRange skips fully-occupied regions outright.
 package buddy
 
 import "fmt"
@@ -19,7 +26,10 @@ import "fmt"
 // are 4 MiB of 4 KiB pages, matching Linux's MAX_PAGE_ORDER.
 const MaxOrder = 10
 
-const noChunk = int8(-1)
+// ord encoding: 0 means "not the head of a free chunk"; k+1 means "head
+// of a free chunk of order k". Using 0 as the empty state lets New hand
+// back a zeroed slice without an O(span) fill.
+const noChunk = int8(0)
 
 // Allocator is a buddy allocator over a contiguous page-frame span. The
 // zero value is not usable; call New.
@@ -27,8 +37,8 @@ type Allocator struct {
 	base   int64
 	npages int64
 
-	// ord[i] is the order of the free chunk whose head is page base+i,
-	// or noChunk if that page is not the head of a free chunk.
+	// ord[i] is the encoded order of the free chunk whose head is page
+	// base+i (see noChunk).
 	ord []int8
 
 	// stacks[k] holds candidate heads (relative indexes) of free chunks
@@ -37,6 +47,11 @@ type Allocator struct {
 	stacks [MaxOrder + 1][]int64
 
 	free int64 // pages currently free
+
+	// Region tracking (TrackRegions): regionPages is the region size in
+	// pages (0 = disabled) and regionFree[r] the free pages in region r.
+	regionPages int64
+	regionFree  []int64
 }
 
 // New creates an allocator spanning npages page frames starting at page
@@ -46,11 +61,22 @@ func New(base, npages int64) *Allocator {
 	if npages <= 0 {
 		panic(fmt.Sprintf("buddy: non-positive span %d", npages))
 	}
-	a := &Allocator{base: base, npages: npages, ord: make([]int8, npages)}
-	for i := range a.ord {
-		a.ord[i] = noChunk
+	return &Allocator{base: base, npages: npages, ord: make([]int8, npages)}
+}
+
+// TrackRegions enables per-region free-page counters at the given
+// region size, which must be a power-of-two multiple of the largest
+// chunk size (so no chunk ever straddles a region boundary) and must be
+// enabled before any pages are freed into the allocator.
+func (a *Allocator) TrackRegions(regionPages int64) {
+	if regionPages < 1<<MaxOrder || regionPages&(regionPages-1) != 0 {
+		panic(fmt.Sprintf("buddy: bad region size %d", regionPages))
 	}
-	return a
+	if a.free != 0 {
+		panic("buddy: TrackRegions on a populated allocator")
+	}
+	a.regionPages = regionPages
+	a.regionFree = make([]int64, (a.npages+regionPages-1)/regionPages)
 }
 
 // Base returns the first page frame number of the span.
@@ -65,6 +91,14 @@ func (a *Allocator) NrFree() int64 { return a.free }
 // Contains reports whether pfn lies within the allocator's span.
 func (a *Allocator) Contains(pfn int64) bool {
 	return pfn >= a.base && pfn < a.base+a.npages
+}
+
+// creditRegion adjusts the free counter of the region containing
+// relative page i.
+func (a *Allocator) creditRegion(i, delta int64) {
+	if a.regionPages != 0 {
+		a.regionFree[i/a.regionPages] += delta
+	}
 }
 
 // Alloc removes a free chunk of 2^order pages and returns its first page
@@ -85,6 +119,7 @@ func (a *Allocator) Alloc(order int) (pfn int64, ok bool) {
 			a.push(half, j-1)
 		}
 		a.free -= 1 << order
+		a.creditRegion(head, -(1 << order))
 		return a.base + head, true
 	}
 	return 0, false
@@ -110,10 +145,11 @@ func (a *Allocator) Free(pfn int64, order int) {
 	if a.ord[i] != noChunk {
 		panic(fmt.Sprintf("buddy: double free of pfn %d", pfn))
 	}
+	a.creditRegion(i, 1<<order)
 	k := order
 	for k < MaxOrder {
 		bud := i ^ (1 << k)
-		if bud+(1<<k) > a.npages || a.ord[bud] != int8(k) {
+		if bud+(1<<k) > a.npages || a.ord[bud] != int8(k)+1 {
 			break
 		}
 		// Detach the buddy (its stack entry goes stale) and merge.
@@ -161,24 +197,35 @@ func (a *Allocator) IsolateRange(pfn, count int64) int64 {
 	}
 	var isolated int64
 	for i := start; i < end; i++ {
+		// A fully-occupied (or offline) region has nothing to isolate.
+		if a.regionPages != 0 && i%a.regionPages == 0 {
+			for i+a.regionPages <= end && a.regionFree[i/a.regionPages] == 0 {
+				i += a.regionPages
+			}
+			if i >= end {
+				break
+			}
+		}
 		k := a.ord[i]
 		if k == noChunk {
 			continue
 		}
-		sz := int64(1) << k
+		sz := int64(1) << (k - 1)
 		if i+sz > end {
-			panic(fmt.Sprintf("buddy: free chunk at %d order %d straddles isolation boundary", a.base+i, k))
+			panic(fmt.Sprintf("buddy: free chunk at %d order %d straddles isolation boundary", a.base+i, k-1))
 		}
 		a.ord[i] = noChunk // stack entry goes stale
 		isolated += sz
 		a.free -= sz
+		a.creditRegion(i, -sz)
 		i += sz - 1
 	}
 	return isolated
 }
 
 // FreeInRange returns the number of free pages inside [pfn, pfn+count)
-// without modifying the allocator.
+// without modifying the allocator. Region-aligned ranges are answered
+// from the region counters in O(regions).
 func (a *Allocator) FreeInRange(pfn, count int64) int64 {
 	start := pfn - a.base
 	end := start + count
@@ -187,6 +234,13 @@ func (a *Allocator) FreeInRange(pfn, count int64) int64 {
 	}
 	if end > a.npages {
 		end = a.npages
+	}
+	if rp := a.regionPages; rp != 0 && start%rp == 0 && (end%rp == 0 || end == a.npages) {
+		var n int64
+		for r := start / rp; r*rp < end; r++ {
+			n += a.regionFree[r]
+		}
+		return n
 	}
 	// A free chunk covering [start, ...) may have its head before start;
 	// chunks are order-aligned, so scanning from the max-order boundary
@@ -198,7 +252,7 @@ func (a *Allocator) FreeInRange(pfn, count int64) int64 {
 		if k == noChunk {
 			continue
 		}
-		sz := int64(1) << k
+		sz := int64(1) << (k - 1)
 		lo, hi := i, i+sz
 		if lo < start {
 			lo = start
@@ -223,7 +277,7 @@ func (a *Allocator) FreeChunkAt(pfn int64) (order int, ok bool) {
 		return 0, false
 	}
 	if k := a.ord[i]; k != noChunk {
-		return int(k), true
+		return int(k) - 1, true
 	}
 	return 0, false
 }
@@ -233,7 +287,7 @@ func (a *Allocator) FreeChunkAt(pfn int64) (order int, ok bool) {
 func (a *Allocator) LargestFreeOrder() int {
 	for k := MaxOrder; k >= 0; k-- {
 		for _, head := range a.stacks[k] {
-			if a.ord[head] == int8(k) {
+			if a.ord[head] == int8(k)+1 {
 				return k
 			}
 		}
@@ -242,7 +296,7 @@ func (a *Allocator) LargestFreeOrder() int {
 }
 
 func (a *Allocator) push(i int64, order int) {
-	a.ord[i] = int8(order)
+	a.ord[i] = int8(order) + 1
 	a.stacks[order] = append(a.stacks[order], i)
 }
 
@@ -251,7 +305,7 @@ func (a *Allocator) pop(order int) (int64, bool) {
 	for len(st) > 0 {
 		head := st[len(st)-1]
 		st = st[:len(st)-1]
-		if a.ord[head] == int8(order) {
+		if a.ord[head] == int8(order)+1 {
 			a.ord[head] = noChunk
 			a.stacks[order] = st
 			return head, true
@@ -263,10 +317,12 @@ func (a *Allocator) pop(order int) (int64, bool) {
 
 // CheckInvariants validates internal consistency — the free count
 // matches the chunks recorded in ord, no free chunk overlaps another,
-// and every free chunk is order-aligned. It is O(span) and intended for
+// every free chunk is order-aligned, and the region counters (when
+// enabled) agree with a fresh count. It is O(span) and intended for
 // tests.
 func (a *Allocator) CheckInvariants() error {
 	var counted int64
+	regions := make([]int64, len(a.regionFree))
 	i := int64(0)
 	for i < a.npages {
 		k := a.ord[i]
@@ -274,12 +330,12 @@ func (a *Allocator) CheckInvariants() error {
 			i++
 			continue
 		}
-		sz := int64(1) << k
+		sz := int64(1) << (k - 1)
 		if i&(sz-1) != 0 {
-			return fmt.Errorf("chunk at %d order %d misaligned", a.base+i, k)
+			return fmt.Errorf("chunk at %d order %d misaligned", a.base+i, k-1)
 		}
 		if i+sz > a.npages {
-			return fmt.Errorf("chunk at %d order %d overruns span", a.base+i, k)
+			return fmt.Errorf("chunk at %d order %d overruns span", a.base+i, k-1)
 		}
 		for j := i + 1; j < i+sz; j++ {
 			if a.ord[j] != noChunk {
@@ -287,10 +343,18 @@ func (a *Allocator) CheckInvariants() error {
 			}
 		}
 		counted += sz
+		if a.regionPages != 0 {
+			regions[i/a.regionPages] += sz
+		}
 		i += sz
 	}
 	if counted != a.free {
 		return fmt.Errorf("free count %d != chunks total %d", a.free, counted)
+	}
+	for r, want := range regions {
+		if a.regionFree[r] != want {
+			return fmt.Errorf("region %d free count %d != counted %d", r, a.regionFree[r], want)
+		}
 	}
 	return nil
 }

@@ -397,3 +397,84 @@ func TestLargestFreeOrderEmpty(t *testing.T) {
 		t.Fatalf("LargestFreeOrder on absent memory = %d, want -1", got)
 	}
 }
+
+// Region counters must agree with the O(span) scan across a random
+// alloc/free/isolate history, and region-aligned FreeInRange must give
+// the same answer through the counter fast path as through the scan.
+func TestRegionCountersMatchScan(t *testing.T) {
+	const region = 1 << MaxOrder // smallest legal region, max churn
+	a := New(0, 8*region)
+	a.TrackRegions(region)
+	a.FreeRange(0, 8*region)
+	rng := rand.New(rand.NewPCG(3, 9))
+	var held [][2]int64 // pfn, order
+	for step := 0; step < 2000; step++ {
+		switch rng.IntN(3) {
+		case 0:
+			order := rng.IntN(MaxOrder + 1)
+			if pfn, ok := a.Alloc(order); ok {
+				held = append(held, [2]int64{pfn, int64(order)})
+			}
+		case 1:
+			if len(held) > 0 {
+				i := rng.IntN(len(held))
+				a.Free(held[i][0], int(held[i][1]))
+				held[i] = held[len(held)-1]
+				held = held[:len(held)-1]
+			}
+		case 2:
+			r := int64(rng.IntN(8))
+			// Sub-region range: exercises the scan fallback.
+			if got, want := a.FreeInRange(r*region+region/4, region/2), scanFree(a, r*region+region/4, region/2); got != want {
+				t.Fatalf("step %d: sub-region FreeInRange = %d, scan = %d", step, got, want)
+			}
+		}
+		if err := a.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		r := int64(rng.IntN(8))
+		if got, want := a.FreeInRange(r*region, region), scanFree(a, r*region, region); got != want {
+			t.Fatalf("step %d: region FreeInRange = %d, scan = %d", step, got, want)
+		}
+	}
+	// Isolation empties regions; counters must follow.
+	for _, h := range held {
+		a.Free(h[0], int(h[1]))
+	}
+	for r := int64(0); r < 8; r++ {
+		if got := a.IsolateRange(r*region, region); got != region {
+			t.Fatalf("isolating full region %d got %d pages", r, got)
+		}
+		if got := a.FreeInRange(r*region, region); got != 0 {
+			t.Fatalf("region %d reports %d free after isolation", r, got)
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// scanFree counts free pages in a range via FreeChunkAt, independent of
+// both FreeInRange code paths.
+func scanFree(a *Allocator, pfn, count int64) int64 {
+	var n int64
+	end := pfn + count
+	for i := pfn - pfn%(1<<MaxOrder); i < end; i++ {
+		order, ok := a.FreeChunkAt(i)
+		if !ok {
+			continue
+		}
+		lo, hi := i, i+(1<<order)
+		if lo < pfn {
+			lo = pfn
+		}
+		if hi > end {
+			hi = end
+		}
+		if hi > lo {
+			n += hi - lo
+		}
+		i += (1 << order) - 1
+	}
+	return n
+}

@@ -309,8 +309,13 @@ func (c *Cluster) SampleMemory() {
 }
 
 // StartMemoryTicker samples fleet memory every interval until the given
-// virtual time.
+// virtual time. The series buffers are pre-sized for the full window.
 func (c *Cluster) StartMemoryTicker(every sim.Duration, until sim.Time) {
+	if every > 0 {
+		points := int(until.Sub(c.Sched.Now())/every) + 2
+		c.Metrics.Committed.Reserve(points)
+		c.Metrics.Populated.Reserve(points)
+	}
 	var tick func()
 	tick = func() {
 		c.SampleMemory()

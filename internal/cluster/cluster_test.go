@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"testing"
 
 	"squeezy/internal/costmodel"
@@ -182,5 +183,49 @@ func TestFleetDeterminism(t *testing.T) {
 		a.ColdLatMs.P99() != b.ColdLatMs.P99() ||
 		a.Committed.Integral() != b.Committed.Integral() {
 		t.Fatalf("fleet run not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// Two identically seeded full fleet runs — separate schedulers, hosts,
+// brokers, the works — must be indistinguishable: the same number of
+// scheduler events fired and byte-identical metric tables. This pins
+// down the determinism contract the pooled/bucketed scheduler and the
+// interval page state must preserve.
+func TestFullRunDeterministicFiredAndTables(t *testing.T) {
+	run := func() (uint64, string) {
+		sched := sim.NewScheduler()
+		cost := costmodel.Default()
+		c := New(sched, cost, Config{
+			Hosts: 2, HostMemBytes: 24 * units.GiB, Backend: faas.Squeezy,
+			N: 4, KeepAlive: 20 * sim.Second,
+		}, NewPolicy("reclaim-aware", cost))
+		fleet := workload.Fleet(6)
+		traces := trace.GenFleet(7, trace.FleetConfig{
+			Funcs: 6, Duration: 30 * sim.Second,
+			TotalBaseRPS: 4, TotalBurstRPS: 24,
+		})
+		for _, inv := range trace.Merge(traces) {
+			fn := fleet[inv.Func]
+			sched.At(inv.T, func() { c.Invoke(fn, nil) })
+		}
+		c.StartMemoryTicker(sim.Second, sim.Time(30*sim.Second))
+		sched.RunUntil(sim.Time(300 * sim.Second))
+		table := fmt.Sprintf("inv=%d cold=%d warm=%d drop=%d evict=%d p50=%.6f p99=%.6f memwait=%.6f eff=%.6f gibs=%.6f",
+			c.Metrics.Invocations, c.Metrics.ColdStarts, c.Metrics.WarmStarts,
+			c.Metrics.Dropped+c.Metrics.AdmissionDrops, c.Evictions(),
+			c.Metrics.ColdLatMs.P50(), c.Metrics.ColdLatMs.P99(), c.Metrics.MemWaitMs.P99(),
+			c.MemoryEfficiency(), c.CommittedGiBs())
+		return sched.Fired(), table
+	}
+	fired1, table1 := run()
+	fired2, table2 := run()
+	if fired1 != fired2 {
+		t.Fatalf("Fired() differs across identical runs: %d vs %d", fired1, fired2)
+	}
+	if table1 != table2 {
+		t.Fatalf("tables differ across identical runs:\n%s\n%s", table1, table2)
+	}
+	if fired1 == 0 || table1 == "" {
+		t.Fatal("degenerate run: nothing fired")
 	}
 }

@@ -98,10 +98,18 @@ type Pool struct {
 	jobs  []*Job
 
 	lastAdvance sim.Time
-	completion  *sim.Event
+	completion  sim.Event
 
 	usage     map[string]float64 // class -> cumulative CPU-ns consumed
 	totalBusy float64            // cumulative CPU-ns consumed, all classes
+
+	// Scratch buffers reused across allocate/advance calls; the
+	// simulation reschedules on every event, so per-call allocations
+	// here dominate the GC profile of a long run. advance is
+	// re-entrant only at dt == 0 (nested calls return before touching
+	// finScratch), so sharing is safe.
+	allocScratch []*Job
+	finScratch   []*Job
 }
 
 // NewPool creates a pool of cores CPUs driven by sched. cores may be
@@ -179,11 +187,17 @@ func (p *Pool) TotalBusy() sim.Duration {
 // at the cap and the residual capacity is redistributed among the rest.
 func (p *Pool) allocate() {
 	capacity := p.cores
-	unfrozen := make([]*Job, 0, len(p.jobs))
-	for _, j := range p.jobs {
+	unfrozen := append(p.allocScratch[:0], p.jobs...)
+	for _, j := range unfrozen {
 		j.rate = 0
-		unfrozen = append(unfrozen, j)
 	}
+	defer func() {
+		// Clear the whole backing array so stale *Job pointers beyond
+		// the next use's length don't keep finished jobs alive.
+		full := unfrozen[:cap(unfrozen)]
+		clear(full)
+		p.allocScratch = full[:0]
+	}()
 	for len(unfrozen) > 0 && capacity > 1e-15 {
 		var wsum float64
 		for _, j := range unfrozen {
@@ -222,7 +236,7 @@ func (p *Pool) advance() {
 	if dt <= 0 || len(p.jobs) == 0 {
 		return
 	}
-	var finished []*Job
+	finished := p.finScratch[:0]
 	for _, j := range p.jobs {
 		progress := j.rate * dt
 		if progress > j.remaining {
@@ -245,6 +259,9 @@ func (p *Pool) advance() {
 			j.onDone()
 		}
 	}
+	full := finished[:cap(finished)]
+	clear(full)
+	p.finScratch = full[:0]
 }
 
 func (p *Pool) remove(target *Job) {
@@ -258,10 +275,8 @@ func (p *Pool) remove(target *Job) {
 
 // reschedule recomputes rates and (re)arms the next-completion event.
 func (p *Pool) reschedule() {
-	if p.completion != nil {
-		p.completion.Cancel()
-		p.completion = nil
-	}
+	p.completion.Cancel()
+	p.completion = sim.Event{}
 	if len(p.jobs) == 0 {
 		return
 	}
@@ -284,7 +299,7 @@ func (p *Pool) reschedule() {
 		d = 1
 	}
 	p.completion = p.sched.After(d, func() {
-		p.completion = nil
+		p.completion = sim.Event{}
 		p.advance()
 		p.reschedule()
 	})

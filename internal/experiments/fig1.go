@@ -57,6 +57,10 @@ func Fig1(opts Options) *Fig1Result {
 	}
 
 	res := &Fig1Result{}
+	points := int(duration/sim.Second) + 1
+	res.Guest.Reserve(points)
+	res.HostUsage.Reserve(points)
+	res.Instances.Reserve(points)
 	var tick func()
 	tick = func() {
 		now := sched.Now().Seconds()

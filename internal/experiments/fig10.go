@@ -121,6 +121,7 @@ func fig10Run(label string, kind faas.BackendKind, hostCap int64, duration sim.D
 	}
 
 	run := Fig10Run{Method: label, P99Ms: make(map[string]float64)}
+	run.Committed.Reserve(int(duration/sim.Second) + 1)
 	var tick func()
 	tick = func() {
 		committed := rt.CommittedBytes()

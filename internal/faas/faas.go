@@ -121,7 +121,7 @@ type Instance struct {
 	proc      *guestos.Process
 	state     instState
 	idleSince sim.Time
-	kaEvent   *sim.Event
+	kaEvent   sim.Event
 }
 
 // request tracks one invocation through the dispatch queue.
@@ -680,10 +680,8 @@ func (fv *FuncVM) runColdPhases(inst *Instance, req *request, phases Phases) {
 
 // runWarm executes a request on a kept-alive instance.
 func (fv *FuncVM) runWarm(inst *Instance, req *request) {
-	if inst.kaEvent != nil {
-		inst.kaEvent.Cancel()
-		inst.kaEvent = nil
-	}
+	inst.kaEvent.Cancel()
+	inst.kaEvent = sim.Event{}
 	inst.state = instBusy
 	fn := inst.fn
 	fv.VM.VCPUs.Submit(fn.WarmExecCPU, cpu.Config{
@@ -795,10 +793,8 @@ func (fv *FuncVM) Evict(inst *Instance) {
 			break
 		}
 	}
-	if inst.kaEvent != nil {
-		inst.kaEvent.Cancel()
-		inst.kaEvent = nil
-	}
+	inst.kaEvent.Cancel()
+	inst.kaEvent = sim.Event{}
 	inst.state = instEvicting
 	delete(fv.instances, inst)
 	fv.Evictions++

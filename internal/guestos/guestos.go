@@ -13,6 +13,7 @@ package guestos
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand/v2"
 	"sort"
 
@@ -28,8 +29,8 @@ const HugeOrder = 9
 
 // Chunk is one allocated physical extent (2^Order pages) and its owner:
 // either a process's anonymous memory or a cached file's pages. The
-// reverse map (Kernel.owners) indexes chunks by head PFN so the offline
-// path can find and migrate them.
+// per-block reverse map (Kernel.chunksIn) indexes chunks by hotplug
+// block so the offline path can find and migrate them.
 type Chunk struct {
 	PFN   mem.PFN
 	Order int
@@ -108,8 +109,13 @@ type Kernel struct {
 
 	nextPID int
 	procs   map[int]*Process
-	owners  map[mem.PFN]*Chunk
-	files   map[string]*CachedFile
+	// chunksIn is the reverse map: allocated chunks indexed by hotplug
+	// block (PFN / PagesPerBlock), so the offline path's range queries
+	// walk the handful of chunks in a block instead of probing a map
+	// once per page frame. Chunks are naturally aligned and at most
+	// 2^MaxOrder pages, so no chunk straddles a block boundary.
+	chunksIn []map[*Chunk]struct{}
+	files    map[string]*CachedFile
 
 	populated bitset // per-PFN: guest page backed by a host frame
 }
@@ -142,7 +148,6 @@ func NewKernel(vm *vmm.VM, cfg Config) *Kernel {
 		Cost:    vm.Cost,
 		VM:      vm,
 		procs:   make(map[int]*Process),
-		owners:  make(map[mem.PFN]*Chunk),
 		files:   make(map[string]*CachedFile),
 		nextPID: 1,
 	}
@@ -174,7 +179,26 @@ func (k *Kernel) addZone(name string, kind mem.ZoneKind, bytes int64) *mem.Zone 
 	k.nextPFN += pages
 	k.zones = append(k.zones, z)
 	k.populated.grow(k.nextPFN)
+	for int64(len(k.chunksIn)) < k.nextPFN/units.PagesPerBlock {
+		k.chunksIn = append(k.chunksIn, nil)
+	}
 	return z
+}
+
+// addOwner registers a chunk in the per-block reverse map.
+func (k *Kernel) addOwner(c *Chunk) {
+	b := c.PFN / units.PagesPerBlock
+	m := k.chunksIn[b]
+	if m == nil {
+		m = make(map[*Chunk]struct{})
+		k.chunksIn[b] = m
+	}
+	m[c] = struct{}{}
+}
+
+// delOwner removes a chunk from the per-block reverse map.
+func (k *Kernel) delOwner(c *Chunk) {
+	delete(k.chunksIn[c.PFN/units.PagesPerBlock], c)
 }
 
 // AddZone registers an extra zone (a Squeezy partition) spanning bytes.
@@ -240,7 +264,7 @@ func (k *Kernel) Exit(p *Process) int64 {
 	}
 	freed := p.anonPages
 	for _, c := range p.anonChunks {
-		delete(k.owners, c.PFN)
+		k.delOwner(c)
 		c.Zone.FreePage(c.PFN, c.Order)
 	}
 	p.anonChunks = nil
@@ -313,7 +337,7 @@ func (k *Kernel) TouchAnon(p *Process, bytes int64, order int) (work sim.Duratio
 			return work, false
 		}
 		c := &Chunk{PFN: pfn, Order: o, Zone: zone, Proc: p}
-		k.owners[pfn] = c
+		k.addOwner(c)
 		p.anonChunks = append(p.anonChunks, c)
 		p.anonPages += c.Pages()
 		allocated += c.Pages()
@@ -339,7 +363,7 @@ func (k *Kernel) FreeAnon(p *Process, bytes int64) int64 {
 	for freed < target && len(p.anonChunks) > 0 {
 		c := p.anonChunks[len(p.anonChunks)-1]
 		p.anonChunks = p.anonChunks[:len(p.anonChunks)-1]
-		delete(k.owners, c.PFN)
+		k.delOwner(c)
 		c.Zone.FreePage(c.PFN, c.Order)
 		p.anonPages -= c.Pages()
 		freed += c.Pages()
@@ -361,7 +385,7 @@ func (k *Kernel) FreeAnonRandom(p *Process, bytes int64, rng *rand.Rand) int64 {
 		last := len(p.anonChunks) - 1
 		p.anonChunks[i] = p.anonChunks[last]
 		p.anonChunks = p.anonChunks[:last]
-		delete(k.owners, c.PFN)
+		k.delOwner(c)
 		c.Zone.FreePage(c.PFN, c.Order)
 		p.anonPages -= c.Pages()
 		freed += c.Pages()
@@ -434,7 +458,7 @@ func (k *Kernel) TouchFile(p *Process, f *CachedFile, bytes int64) (work sim.Dur
 			return work, false
 		}
 		c := &Chunk{PFN: pfn, Order: o, Zone: f.Zone, File: f}
-		k.owners[pfn] = c
+		k.addOwner(c)
 		f.chunks = append(f.chunks, c)
 		f.residentPages += c.Pages()
 		fresh += k.markPopulated(pfn, c.Pages())
@@ -461,7 +485,7 @@ func (k *Kernel) DropFile(f *CachedFile) {
 		panic(fmt.Sprintf("guestos: dropping mapped file %q (mapcount %d)", f.Name, f.mapCount))
 	}
 	for _, c := range f.chunks {
-		delete(k.owners, c.PFN)
+		k.delOwner(c)
 		c.Zone.FreePage(c.PFN, c.Order)
 	}
 	f.chunks = nil
@@ -472,37 +496,21 @@ func (k *Kernel) DropFile(f *CachedFile) {
 // --- population (EPT) tracking ---
 
 // markPopulated sets the populated bit for each page of the chunk and
-// returns how many were newly populated (needing a nested fault).
+// returns how many were newly populated (needing a nested fault). The
+// whole chunk is one bulk bitset update, not a per-page loop.
 func (k *Kernel) markPopulated(pfn mem.PFN, pages int64) int64 {
-	var fresh int64
-	for i := int64(0); i < pages; i++ {
-		if k.populated.set(pfn + i) {
-			fresh++
-		}
-	}
-	return fresh
+	return k.populated.setRange(pfn, pages)
 }
 
 // PopulatedInRange counts host-backed pages in [start, start+count).
 func (k *Kernel) PopulatedInRange(start mem.PFN, count int64) int64 {
-	var n int64
-	for i := int64(0); i < count; i++ {
-		if k.populated.get(start + i) {
-			n++
-		}
-	}
-	return n
+	return k.populated.countRange(start, count)
 }
 
 // ReleaseRange clears population state for an unplugged range and
 // returns the host frames released.
 func (k *Kernel) ReleaseRange(start mem.PFN, count int64) int64 {
-	var n int64
-	for i := int64(0); i < count; i++ {
-		if k.populated.clear(start + i) {
-			n++
-		}
-	}
+	n := k.populated.clearRange(start, count)
 	k.VM.ReleasePages(n)
 	return n
 }
@@ -510,16 +518,19 @@ func (k *Kernel) ReleaseRange(start mem.PFN, count int64) int64 {
 // --- migration support for the offline path ---
 
 // ChunksInRange returns the allocated chunks whose head lies inside
-// [start, start+count), in ascending address order.
+// [start, start+count), in ascending address order. It walks the
+// per-block chunk index, so cost scales with the chunks present, not
+// with the page span.
 func (k *Kernel) ChunksInRange(start mem.PFN, count int64) []*Chunk {
 	var out []*Chunk
-	for pfn := start; pfn < start+count; {
-		if c, ok := k.owners[pfn]; ok {
-			out = append(out, c)
-			pfn += c.Pages()
-			continue
+	end := start + count
+	lastBlock := int64(len(k.chunksIn)) - 1
+	for b := start / units.PagesPerBlock; b <= lastBlock && b*units.PagesPerBlock < end; b++ {
+		for c := range k.chunksIn[b] {
+			if c.PFN >= start && c.PFN < end {
+				out = append(out, c)
+			}
 		}
-		pfn++
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].PFN < out[j].PFN })
 	return out
@@ -535,9 +546,9 @@ func (k *Kernel) MigrateChunk(c *Chunk) (pages int64, extra sim.Duration, ok boo
 	if !got {
 		return 0, 0, false
 	}
-	delete(k.owners, c.PFN)
+	k.delOwner(c)
 	c.PFN = dst
-	k.owners[dst] = c
+	k.addOwner(c)
 	if fresh := k.markPopulated(dst, c.Pages()); fresh > 0 {
 		extra = k.VM.PopulatePages(fresh)
 	}
@@ -568,7 +579,7 @@ func (k *Kernel) AllocReserved(p *Process, pages int64) (chunks []*Chunk, got in
 			break
 		}
 		c := &Chunk{PFN: pfn, Order: o, Zone: zone, Proc: p}
-		k.owners[pfn] = c
+		k.addOwner(c)
 		p.anonChunks = append(p.anonChunks, c)
 		p.anonPages += c.Pages()
 		chunks = append(chunks, c)
@@ -590,23 +601,17 @@ func (k *Kernel) ReleaseChunkFrames(c *Chunk) int64 {
 func (k *Kernel) ReturnIsolatedGaps(z *mem.Zone, start mem.PFN, count int64) int64 {
 	var returned int64
 	gapStart := start
-	pfn := start
-	flush := func(end mem.PFN) {
-		if end > gapStart {
-			z.FreePageRange(gapStart, end-gapStart)
-			returned += end - gapStart
+	for _, c := range k.ChunksInRange(start, count) {
+		if c.PFN > gapStart {
+			z.FreePageRange(gapStart, c.PFN-gapStart)
+			returned += c.PFN - gapStart
 		}
+		gapStart = c.PFN + c.Pages()
 	}
-	for pfn < start+count {
-		if c, ok := k.owners[pfn]; ok {
-			flush(pfn)
-			pfn += c.Pages()
-			gapStart = pfn
-			continue
-		}
-		pfn++
+	if end := start + count; end > gapStart {
+		z.FreePageRange(gapStart, end-gapStart)
+		returned += end - gapStart
 	}
-	flush(start + count)
 	return returned
 }
 
@@ -640,14 +645,16 @@ func (k *Kernel) CheckInvariants() error {
 		}
 	}
 	var owned int64
-	for pfn, c := range k.owners {
-		if c.PFN != pfn {
-			return fmt.Errorf("rmap key %d != chunk head %d", pfn, c.PFN)
+	for b, m := range k.chunksIn {
+		for c := range m {
+			if c.PFN/units.PagesPerBlock != int64(b) {
+				return fmt.Errorf("rmap block %d != chunk head %d's block", b, c.PFN)
+			}
+			if !c.Zone.Contains(c.PFN) {
+				return fmt.Errorf("chunk %d outside its zone %q", c.PFN, c.Zone.Name)
+			}
+			owned += c.Pages()
 		}
-		if !c.Zone.Contains(pfn) {
-			return fmt.Errorf("chunk %d outside its zone %q", pfn, c.Zone.Name)
-		}
-		owned += c.Pages()
 	}
 	var allocated int64
 	for _, z := range k.zones {
@@ -670,26 +677,78 @@ func (b *bitset) grow(n int64) {
 	}
 }
 
-// set sets bit i, reporting whether it was previously clear.
-func (b *bitset) set(i int64) bool {
-	w, m := i/64, uint64(1)<<(i%64)
-	if b.words[w]&m != 0 {
-		return false
-	}
-	b.words[w] |= m
-	return true
+// rangeMasks yields the word span [wlo, whi] of bit range [start,
+// start+n) and the partial masks for the first and last word.
+func rangeMasks(start, n int64) (wlo, whi int64, first, last uint64) {
+	end := start + n - 1
+	wlo, whi = start/64, end/64
+	first = ^uint64(0) << (start % 64)
+	last = ^uint64(0) >> (63 - end%64)
+	return wlo, whi, first, last
 }
 
-// clear clears bit i, reporting whether it was previously set.
-func (b *bitset) clear(i int64) bool {
-	w, m := i/64, uint64(1)<<(i%64)
-	if b.words[w]&m == 0 {
-		return false
+// setRange sets bits [start, start+n), returning how many were
+// previously clear. Whole 64-bit words are handled with single
+// mask-and-popcount operations.
+func (b *bitset) setRange(start, n int64) (fresh int64) {
+	if n <= 0 {
+		return 0
 	}
-	b.words[w] &^= m
-	return true
+	wlo, whi, first, last := rangeMasks(start, n)
+	if wlo == whi {
+		m := first & last
+		fresh = int64(bits.OnesCount64(m &^ b.words[wlo]))
+		b.words[wlo] |= m
+		return fresh
+	}
+	fresh = int64(bits.OnesCount64(first &^ b.words[wlo]))
+	b.words[wlo] |= first
+	for w := wlo + 1; w < whi; w++ {
+		fresh += int64(64 - bits.OnesCount64(b.words[w]))
+		b.words[w] = ^uint64(0)
+	}
+	fresh += int64(bits.OnesCount64(last &^ b.words[whi]))
+	b.words[whi] |= last
+	return fresh
 }
 
-func (b *bitset) get(i int64) bool {
-	return b.words[i/64]&(uint64(1)<<(i%64)) != 0
+// clearRange clears bits [start, start+n), returning how many were
+// previously set.
+func (b *bitset) clearRange(start, n int64) (cleared int64) {
+	if n <= 0 {
+		return 0
+	}
+	wlo, whi, first, last := rangeMasks(start, n)
+	if wlo == whi {
+		m := first & last
+		cleared = int64(bits.OnesCount64(m & b.words[wlo]))
+		b.words[wlo] &^= m
+		return cleared
+	}
+	cleared = int64(bits.OnesCount64(first & b.words[wlo]))
+	b.words[wlo] &^= first
+	for w := wlo + 1; w < whi; w++ {
+		cleared += int64(bits.OnesCount64(b.words[w]))
+		b.words[w] = 0
+	}
+	cleared += int64(bits.OnesCount64(last & b.words[whi]))
+	b.words[whi] &^= last
+	return cleared
+}
+
+// countRange returns the number of set bits in [start, start+n).
+func (b *bitset) countRange(start, n int64) (set int64) {
+	if n <= 0 {
+		return 0
+	}
+	wlo, whi, first, last := rangeMasks(start, n)
+	if wlo == whi {
+		return int64(bits.OnesCount64(first & last & b.words[wlo]))
+	}
+	set = int64(bits.OnesCount64(first & b.words[wlo]))
+	for w := wlo + 1; w < whi; w++ {
+		set += int64(bits.OnesCount64(b.words[w]))
+	}
+	set += int64(bits.OnesCount64(last & b.words[whi]))
+	return set
 }

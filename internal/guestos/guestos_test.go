@@ -1,6 +1,7 @@
 package guestos
 
 import (
+	"math/rand/v2"
 	"testing"
 
 	"squeezy/internal/costmodel"
@@ -392,4 +393,72 @@ func TestDropMappedFilePanics(t *testing.T) {
 		}
 	}()
 	k.DropFile(f)
+}
+
+// The bulk bitset range operations must agree bit-for-bit with a
+// straightforward per-bit reference across random, word-straddling
+// ranges — these back markPopulated / PopulatedInRange / ReleaseRange.
+func TestBitsetRangeOpsMatchReference(t *testing.T) {
+	const span = 5 * 64
+	var b bitset
+	b.grow(span)
+	ref := make([]bool, span)
+	rng := rand.New(rand.NewPCG(11, 13))
+	for step := 0; step < 3000; step++ {
+		start := int64(rng.IntN(span))
+		n := int64(rng.IntN(span - int(start) + 1))
+		switch rng.IntN(3) {
+		case 0:
+			var want int64
+			for i := start; i < start+n; i++ {
+				if !ref[i] {
+					ref[i] = true
+					want++
+				}
+			}
+			if got := b.setRange(start, n); got != want {
+				t.Fatalf("step %d: setRange(%d,%d) fresh = %d, want %d", step, start, n, got, want)
+			}
+		case 1:
+			var want int64
+			for i := start; i < start+n; i++ {
+				if ref[i] {
+					ref[i] = false
+					want++
+				}
+			}
+			if got := b.clearRange(start, n); got != want {
+				t.Fatalf("step %d: clearRange(%d,%d) cleared = %d, want %d", step, start, n, got, want)
+			}
+		case 2:
+			var want int64
+			for i := start; i < start+n; i++ {
+				if ref[i] {
+					want++
+				}
+			}
+			if got := b.countRange(start, n); got != want {
+				t.Fatalf("step %d: countRange(%d,%d) = %d, want %d", step, start, n, got, want)
+			}
+		}
+	}
+}
+
+// markPopulated must report exactly the newly backed pages when ranges
+// overlap — the bulk-update equivalent of the old page-at-a-time loop.
+func TestMarkPopulatedBulkCounting(t *testing.T) {
+	k := newTestKernel(t, 4)
+	base := k.Movable.Start()
+	if fresh := k.markPopulated(base, 1000); fresh != 1000 {
+		t.Fatalf("first touch fresh = %d, want 1000", fresh)
+	}
+	if fresh := k.markPopulated(base+500, 1000); fresh != 500 {
+		t.Fatalf("overlapping touch fresh = %d, want 500", fresh)
+	}
+	if got := k.PopulatedInRange(base, 2000); got != 1500 {
+		t.Fatalf("PopulatedInRange = %d, want 1500", got)
+	}
+	if released := k.populated.clearRange(base, 2000); released != 1500 {
+		t.Fatalf("clearRange = %d, want 1500", released)
+	}
 }

@@ -82,12 +82,17 @@ func NewZone(name string, kind ZoneKind, start PFN, npages int64) *Zone {
 	if start%units.PagesPerBlock != 0 || npages%units.PagesPerBlock != 0 {
 		panic(fmt.Sprintf("mem: zone %q span [%d,+%d) not block-aligned", name, start, npages))
 	}
+	alloc := buddy.New(start, npages)
+	// Per-block free counters make the occupancy questions the offline
+	// paths ask (FreeInBlock, OccupiedInBlock, FinishOffline's emptiness
+	// check) O(1) instead of O(block span).
+	alloc.TrackRegions(units.PagesPerBlock)
 	return &Zone{
 		Name:        name,
 		Kind:        kind,
 		start:       start,
 		npages:      npages,
-		alloc:       buddy.New(start, npages),
+		alloc:       alloc,
 		blockOnline: make([]bool, npages/units.PagesPerBlock),
 	}
 }

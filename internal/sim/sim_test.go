@@ -214,3 +214,168 @@ func TestTimeArithmetic(t *testing.T) {
 		t.Error("Seconds")
 	}
 }
+
+// Cancelled events must be dropped lazily when they reach the front of
+// the queue — never fired, never counted — whether they sit in the
+// near-future ring or the far-future heap.
+func TestCancelThenPopLazyDrop(t *testing.T) {
+	s := NewScheduler()
+	var fired []int
+	var evs []Event
+	// Mix near (ring) and far (heap) events.
+	for i, d := range []Duration{Millisecond, 2 * Millisecond, Second, 2 * Second} {
+		i := i
+		evs = append(evs, s.After(d, func() { fired = append(fired, i) }))
+	}
+	evs[1].Cancel() // ring-resident
+	evs[2].Cancel() // heap-resident
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d before pop, want 4 (cancelled events pending until popped)", s.Len())
+	}
+	s.Run()
+	if len(fired) != 2 || fired[0] != 0 || fired[1] != 3 {
+		t.Fatalf("fired = %v, want [0 3]", fired)
+	}
+	if s.Fired() != 2 {
+		t.Fatalf("Fired = %d, want 2", s.Fired())
+	}
+}
+
+// peek (via NextEventTime) must skip over a run of cancelled events at
+// the head and report the first live one.
+func TestPeekSkipsCancelledHeads(t *testing.T) {
+	s := NewScheduler()
+	for _, d := range []Duration{Millisecond, 2 * Millisecond, Second} {
+		s.After(d, func() {}).Cancel()
+	}
+	live := s.After(3*Second, func() {})
+	if ts, ok := s.NextEventTime(); !ok || ts != live.When() {
+		t.Fatalf("NextEventTime = %v,%v; want %v,true past three cancelled heads", ts, ok, live.When())
+	}
+	_ = live
+}
+
+// RunUntil must fire same-timestamp events in insertion order, even
+// when they were inserted interleaved with other timestamps and the
+// horizon lands exactly on the tie.
+func TestRunUntilFiresTiesInInsertionOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(20, func() { got = append(got, 0) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.At(10, func() { got = append(got, 3) })
+	s.At(30, func() { got = append(got, 4) })
+	s.At(20, func() { got = append(got, 5) })
+	s.RunUntil(20)
+	want := []int{1, 3, 0, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 20 {
+		t.Fatalf("clock = %d, want 20", s.Now())
+	}
+}
+
+// A handle kept past its event's firing must be inert: the record is
+// recycled for later events, and a stale Cancel must not touch them.
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	s := NewScheduler()
+	var stale Event
+	fired := false
+	stale = s.After(Millisecond, func() {})
+	s.Run()
+	// The arena slot of `stale` is free; the next event reuses it.
+	fresh := s.After(Millisecond, func() { fired = true })
+	stale.Cancel()
+	if stale.Canceled() {
+		t.Fatal("stale handle reports Canceled")
+	}
+	if fresh.Canceled() {
+		t.Fatal("stale Cancel leaked onto the recycled event")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire after a stale Cancel")
+	}
+}
+
+// Cancelling from inside the event's own callback (the keep-alive
+// pattern: the timer fires, the handler cancels its stored handle) must
+// not corrupt events scheduled by that same callback.
+func TestCancelOwnHandleInsideCallback(t *testing.T) {
+	s := NewScheduler()
+	var ka Event
+	nextFired := false
+	ka = s.After(Millisecond, func() {
+		next := s.After(Millisecond, func() { nextFired = true })
+		ka.Cancel() // stale self-cancel, as faas eviction does
+		if next.Canceled() {
+			t.Fatal("self-cancel hit the freshly scheduled event")
+		}
+	})
+	s.Run()
+	if !nextFired {
+		t.Fatal("follow-up event did not fire")
+	}
+}
+
+// Property: the two-level queue (bucket ring + heap) fires any mix of
+// near, far, and cancelled events in exactly (timestamp, insertion)
+// order — byte-compatible with a single global priority queue.
+func TestTwoLevelQueueOrderingProperty(t *testing.T) {
+	f := func(seed uint64, raw []uint32) bool {
+		if len(raw) > 300 {
+			raw = raw[:300]
+		}
+		rng := rand.New(rand.NewPCG(seed, 2))
+		s := NewScheduler()
+		type rec struct {
+			when Time
+			seq  int
+		}
+		var fired, want []rec
+		var evs []Event
+		for i, v := range raw {
+			// Spread timestamps across ring granules and far beyond the
+			// ring horizon so both queues participate.
+			when := Time(v % 3_000_000_000)
+			i := i
+			evs = append(evs, s.At(when, func() { fired = append(fired, rec{when, i}) }))
+			want = append(want, rec{when, i})
+		}
+		cancelled := make(map[int]bool)
+		for i := range evs {
+			if rng.IntN(4) == 0 {
+				evs[i].Cancel()
+				cancelled[i] = true
+			}
+		}
+		s.Run()
+		kept := want[:0]
+		for _, r := range want {
+			if !cancelled[r.seq] {
+				kept = append(kept, r)
+			}
+		}
+		want = kept
+		sort.SliceStable(want, func(a, b int) bool { return want[a].when < want[b].when })
+		if len(fired) != len(want) {
+			return false
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

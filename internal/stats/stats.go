@@ -12,16 +12,30 @@ import (
 
 // Sample accumulates float64 observations and answers order-statistic
 // queries. The zero value is an empty sample.
+//
+// Sortedness is maintained incrementally: observations land in an
+// unsorted tail, and the first order-statistic query after a batch of
+// appends sorts just that tail and merges it into the sorted prefix —
+// O(n + k log k) for k new points — instead of re-sorting all n
+// observations on every percentile call. Min, Max, Sum, and Mean are
+// tracked on Add and never trigger a sort.
 type Sample struct {
-	xs     []float64
-	sorted bool
-	sum    float64
+	xs       []float64 // observations; xs[:nsorted] is sorted ascending
+	nsorted  int       // length of the sorted prefix
+	scratch  []float64 // merge buffer, reused across queries
+	sum      float64
+	min, max float64
 }
 
 // Add appends an observation.
 func (s *Sample) Add(v float64) {
+	if len(s.xs) == 0 || v < s.min {
+		s.min = v
+	}
+	if len(s.xs) == 0 || v > s.max {
+		s.max = v
+	}
 	s.xs = append(s.xs, v)
-	s.sorted = false
 	s.sum += v
 }
 
@@ -40,22 +54,10 @@ func (s *Sample) Mean() float64 {
 }
 
 // Min returns the smallest observation, or 0 for an empty sample.
-func (s *Sample) Min() float64 {
-	if len(s.xs) == 0 {
-		return 0
-	}
-	s.ensureSorted()
-	return s.xs[0]
-}
+func (s *Sample) Min() float64 { return s.min }
 
 // Max returns the largest observation, or 0 for an empty sample.
-func (s *Sample) Max() float64 {
-	if len(s.xs) == 0 {
-		return 0
-	}
-	s.ensureSorted()
-	return s.xs[len(s.xs)-1]
-}
+func (s *Sample) Max() float64 { return s.max }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) using linear
 // interpolation between closest ranks. It returns 0 for an empty sample.
@@ -87,6 +89,9 @@ func (s *Sample) P50() float64 { return s.Percentile(50) }
 // P99 returns the 99th percentile.
 func (s *Sample) P99() float64 { return s.Percentile(99) }
 
+// P999 returns the 99.9th percentile.
+func (s *Sample) P999() float64 { return s.Percentile(99.9) }
+
 // Stddev returns the population standard deviation, or 0 for fewer than
 // two observations.
 func (s *Sample) Stddev() float64 {
@@ -111,11 +116,38 @@ func (s *Sample) Values() []float64 {
 	return out
 }
 
+// ensureSorted restores full sortedness by sorting the unsorted tail
+// and merging it with the sorted prefix.
 func (s *Sample) ensureSorted() {
-	if !s.sorted {
-		sort.Float64s(s.xs)
-		s.sorted = true
+	if s.nsorted == len(s.xs) {
+		return
 	}
+	tail := s.xs[s.nsorted:]
+	sort.Float64s(tail)
+	if s.nsorted > 0 {
+		// Merge prefix and tail through the scratch buffer.
+		if cap(s.scratch) < len(s.xs) {
+			s.scratch = make([]float64, len(s.xs))
+		}
+		out := s.scratch[:len(s.xs)]
+		i, j, k := 0, s.nsorted, 0
+		for i < s.nsorted && j < len(s.xs) {
+			if s.xs[i] <= s.xs[j] {
+				out[k] = s.xs[i]
+				i++
+			} else {
+				out[k] = s.xs[j]
+				j++
+			}
+			k++
+		}
+		k += copy(out[k:], s.xs[i:s.nsorted])
+		copy(out[k:], s.xs[j:])
+		// Swap buffers: the merged result becomes xs, the old backing
+		// array becomes the next merge's scratch.
+		s.xs, s.scratch = out, s.xs[:0]
+	}
+	s.nsorted = len(s.xs)
 }
 
 // Geomean returns the geometric mean of xs. Non-positive values and an
@@ -141,6 +173,21 @@ type TimeSeries struct {
 	Name   string
 	Times  []float64 // seconds
 	Values []float64
+}
+
+// Reserve grows the series' capacity to hold at least n points, so a
+// driver that knows its sampling cadence can pre-size the buffers once
+// instead of growing them through repeated appends.
+func (ts *TimeSeries) Reserve(n int) {
+	if n <= cap(ts.Times) {
+		return
+	}
+	times := make([]float64, len(ts.Times), n)
+	copy(times, ts.Times)
+	ts.Times = times
+	values := make([]float64, len(ts.Values), n)
+	copy(values, ts.Values)
+	ts.Values = values
 }
 
 // Append adds a point. Times must be non-decreasing; Append panics

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand/v2"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -194,5 +195,65 @@ func TestBreakdownFractionZeroTotal(t *testing.T) {
 	b := NewBreakdown("a", "b")
 	if b.Fraction("a") != 0 {
 		t.Fatal("Fraction with zero total should be 0")
+	}
+}
+
+// Regression for the re-sort-per-percentile pattern: interleaved Add
+// and percentile queries on a large sample must stay correct — the
+// incremental merge is an optimization, not a semantics change — and
+// repeated queries on an unchanged sample must not disturb the result.
+func TestPercentileIncrementalMerge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 7))
+	var s Sample
+	naive := func(p float64) float64 {
+		xs := s.Values()
+		if len(xs) == 0 {
+			return 0
+		}
+		sort.Float64s(xs)
+		rank := p / 100 * float64(len(xs)-1)
+		lo := int(math.Floor(rank))
+		hi := int(math.Ceil(rank))
+		frac := rank - float64(lo)
+		return xs[lo]*(1-frac) + xs[hi]*frac
+	}
+	for round := 0; round < 50; round++ {
+		// A batch of appends, then a burst of order-statistic queries —
+		// the access pattern of the fleet experiments' metric readouts.
+		for i := 0; i < 200; i++ {
+			s.Add(rng.ExpFloat64() * 100)
+		}
+		for _, p := range []float64{50, 99, 99.9} {
+			want := naive(p)
+			for rep := 0; rep < 3; rep++ {
+				if got := s.Percentile(p); got != want {
+					t.Fatalf("round %d P%v rep %d = %v, want %v", round, p, rep, got, want)
+				}
+			}
+		}
+		if got, want := s.P999(), naive(99.9); got != want {
+			t.Fatalf("P999 = %v, want %v", got, want)
+		}
+	}
+	if s.N() != 50*200 {
+		t.Fatalf("N = %d after interleaved queries, want %d", s.N(), 50*200)
+	}
+}
+
+func TestTimeSeriesReserve(t *testing.T) {
+	var ts TimeSeries
+	ts.Append(1, 10)
+	ts.Reserve(100)
+	if ts.Len() != 1 || ts.Times[0] != 1 || ts.Values[0] != 10 {
+		t.Fatal("Reserve must preserve existing points")
+	}
+	if cap(ts.Times) < 100 || cap(ts.Values) < 100 {
+		t.Fatalf("Reserve(100) left caps %d/%d", cap(ts.Times), cap(ts.Values))
+	}
+	for i := 2; i <= 100; i++ {
+		ts.Append(float64(i), float64(10*i))
+	}
+	if ts.Len() != 100 {
+		t.Fatalf("Len = %d", ts.Len())
 	}
 }

@@ -228,23 +228,31 @@ func InstanceChurn(tr *Trace, execTime, keepAlive sim.Duration, duration sim.Dur
 	for i := range points {
 		points[i].Minute = i
 	}
+	// The pool stays sorted by freeAt without ever sorting: invocation
+	// times are non-decreasing and execTime is constant, so each new
+	// instance's freeAt is >= every existing one, and expiries (freeAt +
+	// keepAlive) leave from the front. head is the eviction cursor into
+	// the sorted slice.
 	type inst struct{ freeAt sim.Time }
-	var idle []inst // sorted by freeAt ascending
+	var idle []inst // idle[head:] is the live pool, sorted by freeAt
+	head := 0
 
 	evictBefore := func(now sim.Time) {
-		keep := idle[:0]
-		for _, in := range idle {
-			expiry := in.freeAt.Add(keepAlive)
-			if expiry <= now {
-				m := int(sim.Duration(expiry) / sim.Minute)
-				if m >= 0 && m < minutes {
-					points[m].Evictions++
-				}
-				continue
+		for head < len(idle) {
+			expiry := idle[head].freeAt.Add(keepAlive)
+			if expiry > now {
+				break
 			}
-			keep = append(keep, in)
+			m := int(sim.Duration(expiry) / sim.Minute)
+			if m >= 0 && m < minutes {
+				points[m].Evictions++
+			}
+			head++
 		}
-		idle = keep
+		if head > len(idle)/2 {
+			idle = append(idle[:0], idle[head:]...)
+			head = 0
+		}
 	}
 
 	for _, t := range tr.Times {
@@ -254,20 +262,23 @@ func InstanceChurn(tr *Trace, execTime, keepAlive sim.Duration, duration sim.Dur
 			break
 		}
 		// Reuse the most-recently-freed idle instance that is actually
-		// free (LIFO keeps the warm pool small, like keep-alive reuse).
-		reused := false
-		for i := len(idle) - 1; i >= 0; i-- {
-			if idle[i].freeAt <= t {
-				idle = append(idle[:i], idle[i+1:]...)
-				reused = true
-				break
+		// free (LIFO keeps the warm pool small, like keep-alive reuse):
+		// the last entry with freeAt <= t, found by binary search.
+		lo, hi := head, len(idle)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if idle[mid].freeAt <= t {
+				lo = mid + 1
+			} else {
+				hi = mid
 			}
 		}
-		if !reused {
+		if lo > head {
+			idle = append(idle[:lo-1], idle[lo:]...)
+		} else {
 			points[m].Creations++
 		}
 		idle = append(idle, inst{freeAt: t.Add(execTime)})
-		sort.Slice(idle, func(i, j int) bool { return idle[i].freeAt < idle[j].freeAt })
 	}
 	evictBefore(sim.Time(duration + sim.Duration(keepAlive)))
 	return points

@@ -1,0 +1,30 @@
+#!/bin/sh
+# bench_json.sh — run the full-protocol experiment benchmark once and
+# emit one JSON point of the perf trajectory (the BENCH_NNN.json files).
+#
+# Usage: scripts/bench_json.sh [output.json]
+#
+# One iteration per registered experiment (-benchtime 1x) keeps the job
+# cheap while still timing the exact protocol the paper tables use.
+# Compare two points (e.g. a PR's base and head) with any JSON diff;
+# per-experiment speedup is before_ns / after_ns.
+set -eu
+out="${1:-bench_point.json}"
+
+go test -bench BenchmarkExperiments -benchtime 1x -run '^$' . |
+awk -v out="$out" '
+  BEGIN { n = 0 }
+  /^BenchmarkExperiments\// {
+    split($1, parts, "/")
+    name = parts[2]
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    names[n] = name; ns[n] = $3; n++
+  }
+  END {
+    if (n == 0) { print "bench_json.sh: no benchmark output parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n  \"benchmark\": \"BenchmarkExperiments\",\n  \"protocol\": \"full\",\n  \"benchtime\": \"1x\",\n  \"ns_per_op\": {\n" > out
+    for (i = 0; i < n; i++)
+      printf "    \"%s\": %s%s\n", names[i], ns[i], (i < n-1 ? "," : "") > out
+    printf "  }\n}\n" > out
+  }'
+echo "wrote $out" >&2
