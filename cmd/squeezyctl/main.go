@@ -21,6 +21,9 @@
 //	             byte-identical to -parallel 1
 //	-format F    text, json, or csv
 //	-o FILE      write output to FILE instead of stdout
+//	-cellstats   print per-cell wall-clock timings to stderr after the
+//	             run (cells are the executor's scheduling unit; the
+//	             slowest cell bounds the parallel wall clock)
 //	-cpuprofile FILE  write a pprof CPU profile of the run to FILE
 //	-memprofile FILE  write a pprof heap profile at exit to FILE
 package main
@@ -33,6 +36,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"time"
 
 	"squeezy/internal/experiments"
 )
@@ -44,6 +49,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 	format := flag.String("format", "text", "output format: text, json, or csv")
 	outPath := flag.String("o", "", "write output to this file instead of stdout")
+	cellStats := flag.Bool("cellstats", false, "print per-cell wall-clock timings to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Usage = usage
@@ -144,7 +150,10 @@ func main() {
 	}
 
 	opts := experiments.Options{Seed: *seed, Quick: *quick}
-	reports, err := experiments.Run(names, opts, *trials, *parallel)
+	reports, stats, err := experiments.RunWithCellStats(names, opts, *trials, *parallel)
+	if *cellStats && err == nil {
+		printCellStats(os.Stderr, stats)
+	}
 
 	var profErr error
 	if cpuFile != nil {
@@ -195,6 +204,46 @@ func main() {
 	if profErr != nil {
 		fmt.Fprintln(os.Stderr, "squeezyctl:", profErr)
 		os.Exit(1)
+	}
+}
+
+// printCellStats writes the per-cell wall-clock table to w (stderr):
+// slowest cells first, then per-experiment totals. Timings go to
+// stderr only, so -o result files stay byte-identical across runs.
+func printCellStats(w io.Writer, stats []experiments.CellStat) {
+	sorted := make([]experiments.CellStat, len(stats))
+	copy(sorted, stats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Wall > sorted[j].Wall })
+	var total time.Duration
+	perExp := map[string]time.Duration{}
+	for _, s := range stats {
+		total += s.Wall
+		perExp[s.Experiment] += s.Wall
+	}
+	// Per-cell walls include any timeslicing between workers, so the
+	// total and the floor interpretation are only meaningful when the
+	// run was not oversubscribed (workers <= cores; -parallel 1 gives
+	// clean per-cell numbers on any box).
+	fmt.Fprintf(w, "cells: %d, summed cell wall time %v (== cpu time only if workers <= cores)\n",
+		len(stats), total.Round(time.Millisecond))
+	if len(sorted) > 0 {
+		// On a non-oversubscribed run the slowest cell is the parallel
+		// wall-clock floor: no worker count can finish the batch faster.
+		fmt.Fprintf(w, "slowest cell: %v (parallel wall-clock floor when workers <= cores)\n",
+			sorted[0].Wall.Round(time.Millisecond))
+	}
+	fmt.Fprintf(w, "%-20s %-8s %-32s %s\n", "experiment", "trial", "cell", "wall")
+	for _, s := range sorted {
+		fmt.Fprintf(w, "%-20s %-8d %-32s %v\n", s.Experiment, s.Trial, s.Label, s.Wall.Round(time.Millisecond))
+	}
+	exps := make([]string, 0, len(perExp))
+	for e := range perExp {
+		exps = append(exps, e)
+	}
+	sort.Slice(exps, func(i, j int) bool { return perExp[exps[i]] > perExp[exps[j]] })
+	fmt.Fprintf(w, "\n%-20s %s\n", "experiment", "total")
+	for _, e := range exps {
+		fmt.Fprintf(w, "%-20s %v\n", e, perExp[e].Round(time.Millisecond))
 	}
 }
 

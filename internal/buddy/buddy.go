@@ -64,6 +64,60 @@ func New(base, npages int64) *Allocator {
 	return &Allocator{base: base, npages: npages, ord: make([]int8, npages)}
 }
 
+// Reset re-dimensions the allocator to a fresh [base, base+npages)
+// span while reusing its storage: the ord span is re-zeroed in place
+// when capacity allows (growing only when the new span is larger),
+// stacks are truncated, and region tracking — if it was enabled —
+// survives at the same region size with cleared counters. All pages
+// start absent again, exactly as after New, so a reset allocator
+// behaves identically to a freshly constructed one.
+func (a *Allocator) Reset(base, npages int64) {
+	if npages <= 0 {
+		panic(fmt.Sprintf("buddy: non-positive span %d", npages))
+	}
+	a.base = base
+	a.npages = npages
+	if int64(cap(a.ord)) >= npages {
+		// Restore the all-zero state. Every nonzero ord position is the
+		// head of a free chunk, and every head was recorded in a stack
+		// (pop and coalescing only ever clear positions), so zeroing the
+		// stack entries restores a sparse span without touching the
+		// untouched bulk; heavily-churned spans whose stacks grew past
+		// an eighth of the extent fall back to one memclr. Both leave
+		// the entire backing array zero, so any re-slice within cap
+		// starts clean.
+		var entries int64
+		for k := range a.stacks {
+			entries += int64(len(a.stacks[k]))
+		}
+		if entries <= int64(len(a.ord))/8 {
+			for k := range a.stacks {
+				for _, i := range a.stacks[k] {
+					a.ord[i] = noChunk
+				}
+			}
+		} else {
+			clear(a.ord)
+		}
+		a.ord = a.ord[:npages]
+	} else {
+		a.ord = make([]int8, npages)
+	}
+	for k := range a.stacks {
+		a.stacks[k] = a.stacks[k][:0]
+	}
+	a.free = 0
+	if rp := a.regionPages; rp != 0 {
+		regions := (npages + rp - 1) / rp
+		if int64(cap(a.regionFree)) >= regions {
+			a.regionFree = a.regionFree[:regions]
+			clear(a.regionFree)
+		} else {
+			a.regionFree = make([]int64, regions)
+		}
+	}
+}
+
 // TrackRegions enables per-region free-page counters at the given
 // region size, which must be a power-of-two multiple of the largest
 // chunk size (so no chunk ever straddles a region boundary) and must be

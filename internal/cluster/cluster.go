@@ -21,6 +21,7 @@ import (
 
 	"squeezy/internal/costmodel"
 	"squeezy/internal/faas"
+	"squeezy/internal/guestos"
 	"squeezy/internal/hostmem"
 	"squeezy/internal/sim"
 	"squeezy/internal/stats"
@@ -115,12 +116,17 @@ type Cluster struct {
 	Policy Policy
 	Nodes  []*Node
 
+	// Recycle, when non-nil, backs every host runtime's guest kernels
+	// with a shared arena cache; Reset harvests the previous fleet's
+	// kernels into it before rebuilding, so consecutive sweeps reuse
+	// one set of buddy ord spans and bitmaps.
+	Recycle *guestos.Recycler
+
 	Metrics Metrics
 }
 
-// New builds a fleet of cfg.Hosts identical hosts under sched, with
-// placement delegated to policy.
-func New(sched *sim.Scheduler, cost *costmodel.Model, cfg Config, policy Policy) *Cluster {
+// withDefaults fills the zero-valued optional fields.
+func (cfg Config) withDefaults() Config {
 	if cfg.Hosts <= 0 {
 		panic("cluster: need at least one host")
 	}
@@ -139,22 +145,87 @@ func New(sched *sim.Scheduler, cost *costmodel.Model, cfg Config, policy Policy)
 	if cfg.HarvestBufferInstances <= 0 {
 		cfg.HarvestBufferInstances = 2
 	}
+	return cfg
+}
+
+// New builds a fleet of cfg.Hosts identical hosts under sched, with
+// placement delegated to policy.
+func New(sched *sim.Scheduler, cost *costmodel.Model, cfg Config, policy Policy) *Cluster {
 	c := &Cluster{
-		Sched: sched, Cost: cost, Cfg: cfg, Policy: policy,
+		Sched: sched, Cost: cost, Cfg: cfg.withDefaults(), Policy: policy,
 		Metrics: Metrics{
 			ColdLatMs: &stats.Sample{}, WarmLatMs: &stats.Sample{}, MemWaitMs: &stats.Sample{},
 		},
 	}
-	for i := 0; i < cfg.Hosts; i++ {
-		host := hostmem.New(cfg.HostMemBytes)
-		rt := faas.NewRuntime(sched, host, cost)
-		rt.ProactiveFactor = cfg.ProactiveFactor
-		c.Nodes = append(c.Nodes, &Node{
-			ID: i, Backend: cfg.Backend, Host: host, RT: rt,
-			vms: make(map[string]*faas.FuncVM),
-		})
+	for i := 0; i < c.Cfg.Hosts; i++ {
+		c.Nodes = append(c.Nodes, c.newNode(i))
 	}
 	return c
+}
+
+// newNode builds one host under the cluster's current config.
+func (c *Cluster) newNode(id int) *Node {
+	host := hostmem.New(c.Cfg.HostMemBytes)
+	rt := faas.NewRuntime(c.Sched, host, c.Cost)
+	rt.ProactiveFactor = c.Cfg.ProactiveFactor
+	rt.Recycle = c.Recycle
+	return &Node{
+		ID: id, Backend: c.Cfg.Backend, Host: host, RT: rt,
+		vms: make(map[string]*faas.FuncVM),
+	}
+}
+
+// Reset rebuilds the cluster for a new run under a (possibly
+// different) config and policy, reusing the fleet's storage: node
+// structs and their VM maps stay, each host pool is reset in place,
+// the previous run's guest kernels are harvested into the recycler,
+// and the metrics buffers are emptied rather than reallocated. The
+// scheduler must already be reset to the time the new run starts from.
+// A reset cluster replays a run identically to a freshly constructed
+// one.
+func (c *Cluster) Reset(cost *costmodel.Model, cfg Config, policy Policy) {
+	c.Release()
+	c.Cost = cost
+	c.Cfg = cfg.withDefaults()
+	c.Policy = policy
+	if len(c.Nodes) > c.Cfg.Hosts {
+		clear(c.Nodes[c.Cfg.Hosts:])
+		c.Nodes = c.Nodes[:c.Cfg.Hosts]
+	}
+	for i, n := range c.Nodes {
+		n.ID = i
+		n.Backend = c.Cfg.Backend
+		n.Host.Reset(c.Cfg.HostMemBytes)
+		rt := faas.NewRuntime(c.Sched, n.Host, cost)
+		rt.ProactiveFactor = c.Cfg.ProactiveFactor
+		rt.Recycle = c.Recycle
+		n.RT = rt
+		clear(n.vms)
+		clear(n.vmOrder) // drop stale *FuncVM pointers
+		n.vmOrder = n.vmOrder[:0]
+	}
+	for len(c.Nodes) < c.Cfg.Hosts {
+		c.Nodes = append(c.Nodes, c.newNode(len(c.Nodes)))
+	}
+	m := &c.Metrics
+	m.Invocations, m.ColdStarts, m.WarmStarts, m.Dropped, m.AdmissionDrops = 0, 0, 0, 0, 0
+	m.ColdLatMs.Reset()
+	m.WarmLatMs.Reset()
+	m.MemWaitMs.Reset()
+	m.Committed.Reset()
+	m.Populated.Reset()
+}
+
+// Release harvests every node's guest kernels into the recycler
+// (no-op without one). The fleet's VMs must not be used afterwards;
+// Reset calls it before rebuilding.
+func (c *Cluster) Release() {
+	if c.Recycle == nil {
+		return
+	}
+	for _, n := range c.Nodes {
+		n.RT.Release()
+	}
 }
 
 // Invoke routes one invocation of fn through the dispatcher, in three

@@ -6,6 +6,7 @@ import (
 
 	"squeezy/internal/costmodel"
 	"squeezy/internal/faas"
+	"squeezy/internal/guestos"
 	"squeezy/internal/sim"
 	"squeezy/internal/trace"
 	"squeezy/internal/units"
@@ -227,5 +228,81 @@ func TestFullRunDeterministicFiredAndTables(t *testing.T) {
 	}
 	if fired1 == 0 || table1 == "" {
 		t.Fatal("degenerate run: nothing fired")
+	}
+}
+
+// TestResetReplaysIdentically is the reset-vs-fresh guard for the
+// fleet: a cluster reset after an unrelated run (different backend,
+// host count, and policy) must replay a workload with metrics and
+// event counts identical to a freshly constructed cluster's.
+func TestResetReplaysIdentically(t *testing.T) {
+	type outcome struct {
+		fired                  uint64
+		cold, warm, vms, evict int
+		coldP99                float64
+	}
+	replay := func(c *Cluster) outcome {
+		fleet := workload.Fleet(8)
+		traces := trace.GenFleet(3, trace.FleetConfig{
+			Funcs: 8, Duration: 30 * sim.Second, TotalBaseRPS: 4, TotalBurstRPS: 24,
+		})
+		for _, inv := range trace.Merge(traces) {
+			fn := fleet[inv.Func]
+			c.Sched.At(inv.T, func() { c.Invoke(fn, nil) })
+		}
+		c.StartMemoryTicker(sim.Second, sim.Time(30*sim.Second))
+		c.Sched.RunUntil(sim.Time(300 * sim.Second))
+		return outcome{
+			fired: c.Sched.Fired(),
+			cold:  c.Metrics.ColdStarts, warm: c.Metrics.WarmStarts,
+			vms: c.VMCount(), evict: c.Evictions(),
+			coldP99: c.Metrics.ColdLatMs.P99(),
+		}
+	}
+
+	cost := costmodel.Default()
+	cfg := Config{Hosts: 3, HostMemBytes: 24 * units.GiB, Backend: faas.Squeezy, N: 4,
+		KeepAlive: 30 * sim.Second}
+
+	sched := sim.NewScheduler()
+	fresh := New(sched, cost, cfg, NewPolicy("reclaim-aware", cost))
+	want := replay(fresh)
+
+	// A reused cluster: run a different fleet shape first, then reset.
+	sched2 := sim.NewScheduler()
+	reused := New(sched2, cost, Config{
+		Hosts: 5, HostMemBytes: 16 * units.GiB, Backend: faas.VirtioMem, N: 8,
+	}, NewPolicy("round-robin", cost))
+	replay(reused)
+	sched2.Reset()
+	reused.Reset(cost, cfg, NewPolicy("reclaim-aware", cost))
+	got := replay(reused)
+	if got != want {
+		t.Fatalf("reset cluster replay = %+v, fresh = %+v", got, want)
+	}
+}
+
+// TestResetHarvestsKernels verifies Reset hands the previous fleet's
+// guest-kernel arenas to the recycler so the next run can reuse them.
+func TestResetHarvestsKernels(t *testing.T) {
+	cost := costmodel.Default()
+	sched := sim.NewScheduler()
+	cfg := Config{Hosts: 2, Backend: faas.Squeezy, N: 4, KeepAlive: 10 * sim.Second}
+	c := New(sched, cost, cfg, NewPolicy("round-robin", cost))
+	c.Recycle = guestos.NewRecycler()
+	c.Reset(cost, cfg, NewPolicy("round-robin", cost)) // wire runtimes to the recycler
+	c.Invoke(workload.ByName("HTML"), nil)
+	sched.Run()
+	if c.VMCount() == 0 {
+		t.Fatal("no VM booted")
+	}
+	fv := c.Nodes[0].VMs()[0]
+	sched.Reset()
+	c.Reset(cost, cfg, NewPolicy("round-robin", cost))
+	if fv.K.Zones() != nil {
+		t.Fatal("Reset did not release the previous fleet's kernels")
+	}
+	if c.VMCount() != 0 || c.Metrics.Invocations != 0 {
+		t.Fatal("Reset left fleet state")
 	}
 }

@@ -7,10 +7,8 @@ import (
 	"squeezy/internal/costmodel"
 	"squeezy/internal/guestos"
 	"squeezy/internal/hostmem"
-	"squeezy/internal/sim"
 	"squeezy/internal/units"
 	"squeezy/internal/virtiomem"
-	"squeezy/internal/vmm"
 	"squeezy/internal/workload"
 )
 
@@ -21,12 +19,16 @@ import (
 // without VM-exit batching (§8: batching would merge the ~3 ms per
 // 128 MiB chunk exits of one request into a single exit).
 func AblationBatching(batched bool, bytes int64) float64 {
-	sched := sim.NewScheduler()
+	return ablationBatching(newWorld(), batched, bytes)
+}
+
+func ablationBatching(w *World, batched bool, bytes int64) float64 {
+	sched := w.Scheduler()
 	cost := costmodel.Default()
 	cost.BatchUnplugExits = batched
-	vm := vmm.New("ablation", sched, cost, hostmem.New(0), 4)
+	vm := w.VM("ablation", cost, hostmem.New(0), 4)
 	vm.PinReclaimThreads()
-	k := guestos.NewKernel(vm, guestos.Config{
+	k := w.Kernel(vm, guestos.Config{
 		BootBytes: units.BlockSize, KernelResidentBytes: 16 * units.MiB,
 	})
 	mgr := core.NewManager(k, core.Config{PartitionBytes: bytes, Concurrency: 2})
@@ -42,27 +44,35 @@ func AblationBatching(batched bool, bytes int64) float64 {
 // half-loaded guest with the kernel's zero-on-alloc hardening on or off
 // (§2.2: zeroing is ~24% of unplug latency).
 func AblationZeroing(zeroing bool) float64 {
+	return ablationZeroing(newWorld(), zeroing)
+}
+
+func ablationZeroing(w *World, zeroing bool) float64 {
 	cost := costmodel.Default()
 	cost.ZeroOnUnplug = zeroing
-	return vanillaUnplug512(cost, virtiomem.EmptiestFirst)
+	return vanillaUnplug512(w, cost, virtiomem.EmptiestFirst)
 }
 
 // AblationCandidatePolicy measures the same unplug under different
 // block-selection policies ("emptiest" or "highest").
 func AblationCandidatePolicy(policy string) float64 {
+	return ablationCandidatePolicy(newWorld(), policy)
+}
+
+func ablationCandidatePolicy(w *World, policy string) float64 {
 	p := virtiomem.EmptiestFirst
 	if policy == "highest" {
 		p = virtiomem.HighestFirst
 	}
-	return vanillaUnplug512(costmodel.Default(), p)
+	return vanillaUnplug512(w, costmodel.Default(), p)
 }
 
-func vanillaUnplug512(cost *costmodel.Model, policy virtiomem.CandidatePolicy) float64 {
-	sched := sim.NewScheduler()
-	vm := vmm.New("ablation", sched, cost, hostmem.New(0), 4)
+func vanillaUnplug512(w *World, cost *costmodel.Model, policy virtiomem.CandidatePolicy) float64 {
+	sched := w.Scheduler()
+	vm := w.VM("ablation", cost, hostmem.New(0), 4)
 	vm.PinReclaimThreads()
 	const vmBytes = 4 * units.GiB
-	k := guestos.NewKernel(vm, guestos.Config{
+	k := w.Kernel(vm, guestos.Config{
 		BootBytes: units.BlockSize, MovableBytes: vmBytes,
 		KernelResidentBytes: 16 * units.MiB,
 	})
@@ -92,56 +102,66 @@ func AblationPartitionSize(bytes int64) float64 {
 // covers the design-choice studies alongside the paper figures. They
 // are deterministic closed-form sweeps: Options.Seed is accepted for
 // interface uniformity but unused, and Quick shrinks the swept sizes.
+// Each sweep point is one cell of the experiment's plan.
+
+// ablationPlan builds a two-column table plan: one cell per swept
+// configuration, each filling its pre-assigned row value.
+func ablationPlan(title string, header [2]string, rows []string, run func(w *World, i int) float64) *Plan {
+	vals := make([]float64, len(rows))
+	p := &Plan{Assemble: func() Result {
+		t := &Table{Title: title, Header: header[:]}
+		for i, label := range rows {
+			t.AddRow(label, f1(vals[i]))
+		}
+		return t
+	}}
+	for i, label := range rows {
+		i := i
+		p.Stage.Cell(label, func(w *World) { vals[i] = run(w, i) })
+	}
+	return p
+}
 
 func init() {
-	Register("abl-batching", "Ablation (§8): VM-exit batching on a Squeezy unplug",
-		func(o Options) Result {
+	RegisterPlan("abl-batching", "Ablation (§8): VM-exit batching on a Squeezy unplug",
+		func(o Options) *Plan {
 			bytes := int64(2 * units.GiB)
 			if o.Quick {
 				bytes = 512 * units.MiB
 			}
-			t := &Table{
-				Title:  "Ablation: VM-exit batching on a " + units.HumanBytes(bytes) + " Squeezy unplug",
-				Header: []string{"mode", "unplug(ms)"},
-			}
-			t.AddRow("unbatched", f1(AblationBatching(false, bytes)))
-			t.AddRow("batched", f1(AblationBatching(true, bytes)))
-			return t
+			return ablationPlan(
+				"Ablation: VM-exit batching on a "+units.HumanBytes(bytes)+" Squeezy unplug",
+				[2]string{"mode", "unplug(ms)"}, []string{"unbatched", "batched"},
+				func(w *World, i int) float64 { return ablationBatching(w, i == 1, bytes) })
 		})
-	Register("abl-zeroing", "Ablation (§2.2): zero-on-unplug tax on a vanilla 512 MiB unplug",
-		func(o Options) Result {
-			t := &Table{
-				Title:  "Ablation: kernel zeroing on the vanilla virtio-mem unplug path",
-				Header: []string{"zeroing", "unplug-512MiB(ms)"},
-			}
-			t.AddRow("on", f1(AblationZeroing(true)))
-			t.AddRow("off", f1(AblationZeroing(false)))
-			return t
+	RegisterPlan("abl-zeroing", "Ablation (§2.2): zero-on-unplug tax on a vanilla 512 MiB unplug",
+		func(o Options) *Plan {
+			return ablationPlan(
+				"Ablation: kernel zeroing on the vanilla virtio-mem unplug path",
+				[2]string{"zeroing", "unplug-512MiB(ms)"}, []string{"on", "off"},
+				func(w *World, i int) float64 { return ablationZeroing(w, i == 0) })
 		})
-	Register("abl-policy", "Ablation: virtio-mem block-selection policy (emptiest vs highest)",
-		func(o Options) Result {
-			t := &Table{
-				Title:  "Ablation: virtio-mem candidate-block policy, 512 MiB unplug",
-				Header: []string{"policy", "unplug-512MiB(ms)"},
-			}
-			for _, p := range []string{"emptiest", "highest"} {
-				t.AddRow(p, f1(AblationCandidatePolicy(p)))
-			}
-			return t
+	RegisterPlan("abl-policy", "Ablation: virtio-mem block-selection policy (emptiest vs highest)",
+		func(o Options) *Plan {
+			policies := []string{"emptiest", "highest"}
+			return ablationPlan(
+				"Ablation: virtio-mem candidate-block policy, 512 MiB unplug",
+				[2]string{"policy", "unplug-512MiB(ms)"}, policies,
+				func(w *World, i int) float64 { return ablationCandidatePolicy(w, policies[i]) })
 		})
-	Register("abl-partition", "Ablation: Squeezy partition rated size vs unplug latency",
-		func(o Options) Result {
+	RegisterPlan("abl-partition", "Ablation: Squeezy partition rated size vs unplug latency",
+		func(o Options) *Plan {
 			sizes := []int64{128, 512, 2048}
 			if o.Quick {
 				sizes = []int64{128, 512}
 			}
-			t := &Table{
-				Title:  "Ablation: unplug latency of one partition by rated size",
-				Header: []string{"partition", "unplug(ms)"},
+			labels := make([]string, len(sizes))
+			for i, mib := range sizes {
+				labels[i] = units.HumanBytes(mib * units.MiB)
 			}
-			for _, mib := range sizes {
-				t.AddRow(units.HumanBytes(mib*units.MiB), f1(AblationPartitionSize(mib*units.MiB)))
-			}
-			return t
+			return ablationPlan(
+				"Ablation: unplug latency of one partition by rated size",
+				[2]string{"partition", "unplug(ms)"}, labels,
+				func(w *World, i int) float64 { return ablationBatching(w, false, sizes[i]*units.MiB) })
 		})
 }

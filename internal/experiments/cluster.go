@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"squeezy/internal/cluster"
 	"squeezy/internal/costmodel"
@@ -48,11 +49,12 @@ type fleetStats struct {
 
 // fleetRun replays a Zipf fleet trace against a cluster and collects
 // fleet-wide latency, churn, and memory-efficiency metrics. The run is
-// a pure function of (seed, fc).
-func fleetRun(seed uint64, fc fleetCfg) fleetStats {
-	sched := sim.NewScheduler()
+// a pure function of (seed, fc) — the pooled world only contributes
+// recycled storage.
+func fleetRun(w *World, seed uint64, fc fleetCfg) fleetStats {
+	sched := w.Scheduler()
 	cost := costmodel.Default()
-	c := cluster.New(sched, cost, cluster.Config{
+	c := w.Cluster(cost, cluster.Config{
 		Hosts:        fc.hosts,
 		HostMemBytes: fc.hostMem,
 		Backend:      fc.backend,
@@ -132,11 +134,45 @@ func addFleetRow(t *Table, s fleetStats, lead ...string) {
 
 var fleetCols = []string{"vms", "cold", "warm", "cold_p50_ms", "cold_p99_ms", "memwait_p99_ms", "evictions", "dropped", "unserved", "mem_eff", "GiB*s"}
 
-// ClusterPolicies sweeps placement policy × backend × host count under
-// a fixed fleet workload: with few hosts the fleet is memory-tight and
-// placement decides who stalls on reclamation; with more hosts the
-// pressure relaxes and the policies converge.
-func ClusterPolicies(opts Options) Result {
+// fleetCell is one (config, lead-columns) pair of a fleet sweep.
+type fleetCell struct {
+	fc   fleetCfg
+	lead []string
+}
+
+// fleetPlan turns a list of fleet configurations into a cell plan: one
+// cell per configuration, each simulating its fleet on the pooled
+// world and writing its own result slot; Assemble emits the rows in
+// enumeration order, so the table is identical at any worker count.
+// extra, when non-nil, appends run-derived lead columns after each
+// cell's static ones (cluster-scale's invocation count).
+func fleetPlan(title string, header []string, seed uint64, cells []fleetCell, extra func(fleetStats) []string) *Plan {
+	results := make([]fleetStats, len(cells))
+	p := &Plan{Assemble: func() Result {
+		t := &Table{Title: title, Header: header}
+		for i, c := range cells {
+			lead := c.lead
+			if extra != nil {
+				lead = append(append([]string{}, lead...), extra(results[i])...)
+			}
+			addFleetRow(t, results[i], lead...)
+		}
+		return t
+	}}
+	for i, c := range cells {
+		i, c := i, c
+		p.Stage.Cell(strings.Join(c.lead, "/"), func(w *World) {
+			results[i] = fleetRun(w, seed, c.fc)
+		})
+	}
+	return p
+}
+
+// ClusterPoliciesPlan sweeps placement policy × backend × host count
+// under a fixed fleet workload: with few hosts the fleet is
+// memory-tight and placement decides who stalls on reclamation; with
+// more hosts the pressure relaxes and the policies converge.
+func ClusterPoliciesPlan(opts Options) *Plan {
 	funcs, duration, baseRPS, burstRPS := fleetScale(opts)
 	hostCounts := []int{4, 8}
 	hostMem := int64(32) * units.GiB
@@ -144,28 +180,34 @@ func ClusterPolicies(opts Options) Result {
 		hostCounts = []int{2, 3}
 		hostMem = 28 * units.GiB
 	}
-	t := &Table{
-		Title:  "cluster-policies: placement policy x backend x host count under a Zipf fleet",
-		Header: append([]string{"policy", "backend", "hosts"}, fleetCols...),
-	}
+	var cells []fleetCell
 	for _, hosts := range hostCounts {
 		for _, backend := range []faas.BackendKind{faas.VirtioMem, faas.Squeezy} {
 			for _, policy := range cluster.PolicyNames() {
-				s := fleetRun(opts.seed(), fleetCfg{
-					policy: policy, backend: backend, hosts: hosts, hostMem: hostMem,
-					funcs: funcs, duration: duration, baseRPS: baseRPS, burstRPS: burstRPS,
+				cells = append(cells, fleetCell{
+					fc: fleetCfg{
+						policy: policy, backend: backend, hosts: hosts, hostMem: hostMem,
+						funcs: funcs, duration: duration, baseRPS: baseRPS, burstRPS: burstRPS,
+					},
+					lead: []string{policy, backend.String(), fmt.Sprintf("%d", hosts)},
 				})
-				addFleetRow(t, s, policy, backend.String(), fmt.Sprintf("%d", hosts))
 			}
 		}
 	}
-	return t
+	return fleetPlan(
+		"cluster-policies: placement policy x backend x host count under a Zipf fleet",
+		append([]string{"policy", "backend", "hosts"}, fleetCols...),
+		opts.seed(), cells, nil)
 }
 
-// ClusterScale grows hosts and load together (weak scaling) under the
-// reclaim-aware policy on Squeezy hosts: per-request latency should
-// stay flat while the fleet absorbs proportionally more traffic.
-func ClusterScale(opts Options) Result {
+// ClusterPolicies runs the policy sweep serially.
+func ClusterPolicies(opts Options) Result { return ClusterPoliciesPlan(opts).runSerial(newWorld()) }
+
+// ClusterScalePlan grows hosts and load together (weak scaling) under
+// the reclaim-aware policy on Squeezy hosts: per-request latency
+// should stay flat while the fleet absorbs proportionally more
+// traffic.
+func ClusterScalePlan(opts Options) *Plan {
 	hostCounts := []int{2, 4, 8, 16}
 	perHostFuncs, perHostBase, perHostBurst := 10, 4.0, 20.0
 	duration := 180 * sim.Second
@@ -174,29 +216,35 @@ func ClusterScale(opts Options) Result {
 		perHostFuncs, perHostBase, perHostBurst = 8, 3, 15
 		duration = 60 * sim.Second
 	}
-	t := &Table{
-		Title:  "cluster-scale: weak scaling of the fleet (reclaim-aware, squeezy)",
-		Header: append([]string{"hosts", "funcs", "invocations"}, fleetCols...),
-	}
+	var cells []fleetCell
 	for _, hosts := range hostCounts {
 		funcs := perHostFuncs * hosts
-		s := fleetRun(opts.seed(), fleetCfg{
-			policy: "reclaim-aware", backend: faas.Squeezy,
-			hosts: hosts, hostMem: 32 * units.GiB,
-			funcs: funcs, duration: duration,
-			baseRPS: perHostBase * float64(hosts), burstRPS: perHostBurst * float64(hosts),
+		cells = append(cells, fleetCell{
+			fc: fleetCfg{
+				policy: "reclaim-aware", backend: faas.Squeezy,
+				hosts: hosts, hostMem: 32 * units.GiB,
+				funcs: funcs, duration: duration,
+				baseRPS: perHostBase * float64(hosts), burstRPS: perHostBurst * float64(hosts),
+			},
+			lead: []string{fmt.Sprintf("%d", hosts), fmt.Sprintf("%d", funcs)},
 		})
-		addFleetRow(t, s, fmt.Sprintf("%d", hosts), fmt.Sprintf("%d", funcs),
-			fmt.Sprintf("%d", s.Invoked))
 	}
-	return t
+	return fleetPlan(
+		"cluster-scale: weak scaling of the fleet (reclaim-aware, squeezy)",
+		append([]string{"hosts", "funcs", "invocations"}, fleetCols...),
+		opts.seed(), cells,
+		// The invocations column comes from the run itself.
+		func(s fleetStats) []string { return []string{fmt.Sprintf("%d", s.Invoked)} })
 }
 
-// ClusterOvercommit fixes the fleet and shrinks per-host memory:
+// ClusterScale runs the weak-scaling sweep serially.
+func ClusterScale(opts Options) Result { return ClusterScalePlan(opts).runSerial(newWorld()) }
+
+// ClusterOvercommitPlan fixes the fleet and shrinks per-host memory:
 // as overcommit tightens, every scale-up depends on reclaiming another
 // function's memory, and the backend's unplug latency becomes the
 // fleet's cold-start tail.
-func ClusterOvercommit(opts Options) Result {
+func ClusterOvercommitPlan(opts Options) *Plan {
 	funcs, duration, baseRPS, burstRPS := fleetScale(opts)
 	hosts := 4
 	memSteps := []int64{32, 28, 24}
@@ -204,25 +252,29 @@ func ClusterOvercommit(opts Options) Result {
 		hosts = 2
 		memSteps = []int64{28, 24, 20}
 	}
-	t := &Table{
-		Title:  "cluster-overcommit: tightening per-host memory (reclaim-aware placement)",
-		Header: append([]string{"backend", "host_mem_gib"}, fleetCols...),
-	}
+	var cells []fleetCell
 	for _, backend := range []faas.BackendKind{faas.VirtioMem, faas.Harvest, faas.Squeezy} {
 		for _, gib := range memSteps {
-			hostMem := gib * units.GiB
-			s := fleetRun(opts.seed(), fleetCfg{
-				policy: "reclaim-aware", backend: backend, hosts: hosts, hostMem: hostMem,
-				funcs: funcs, duration: duration, baseRPS: baseRPS, burstRPS: burstRPS,
+			cells = append(cells, fleetCell{
+				fc: fleetCfg{
+					policy: "reclaim-aware", backend: backend, hosts: hosts, hostMem: gib * units.GiB,
+					funcs: funcs, duration: duration, baseRPS: baseRPS, burstRPS: burstRPS,
+				},
+				lead: []string{backend.String(), fmt.Sprintf("%d", gib)},
 			})
-			addFleetRow(t, s, backend.String(), fmt.Sprintf("%d", gib))
 		}
 	}
-	return t
+	return fleetPlan(
+		"cluster-overcommit: tightening per-host memory (reclaim-aware placement)",
+		append([]string{"backend", "host_mem_gib"}, fleetCols...),
+		opts.seed(), cells, nil)
 }
 
+// ClusterOvercommit runs the overcommit sweep serially.
+func ClusterOvercommit(opts Options) Result { return ClusterOvercommitPlan(opts).runSerial(newWorld()) }
+
 func init() {
-	Register("cluster-policies", "fleet placement: policy x backend x host count over a Zipf fleet", ClusterPolicies)
-	Register("cluster-scale", "fleet weak scaling: hosts and load grow together (reclaim-aware, squeezy)", ClusterScale)
-	Register("cluster-overcommit", "fleet overcommit: per-host memory shrinks, backends pay the unplug tail", ClusterOvercommit)
+	RegisterPlan("cluster-policies", "fleet placement: policy x backend x host count over a Zipf fleet", ClusterPoliciesPlan)
+	RegisterPlan("cluster-scale", "fleet weak scaling: hosts and load grow together (reclaim-aware, squeezy)", ClusterScalePlan)
+	RegisterPlan("cluster-overcommit", "fleet overcommit: per-host memory shrinks, backends pay the unplug tail", ClusterOvercommitPlan)
 }

@@ -26,16 +26,28 @@ type Fig1Result struct {
 // populated memory never shrinks — the idle-memory pathology motivating
 // the paper.
 func Fig1(opts Options) *Fig1Result {
+	return Fig1Plan(opts).runSerial(newWorld()).(*Fig1Result)
+}
+
+// Fig1Plan is Fig1 as a cell plan: one simulation, one cell.
+func Fig1Plan(opts Options) *Plan {
+	res := &Fig1Result{}
+	p := &Plan{Assemble: func() Result { return res }}
+	p.Stage.Cell("fig1", func(w *World) { fig1Run(w, opts, res) })
+	return p
+}
+
+func fig1Run(w *World, opts Options, res *Fig1Result) {
 	duration := 450 * sim.Second
 	n := 50
 	if opts.Quick {
 		duration = 150 * sim.Second
 		n = 12
 	}
-	sched := sim.NewScheduler()
+	sched := w.Scheduler()
 	host := hostmem.New(0)
 	cost := costmodel.Default()
-	rt := faas.NewRuntime(sched, host, cost)
+	rt := w.Runtime(host, cost)
 	fn := workload.ByName("HTML")
 	fv := rt.AddVM(faas.VMConfig{
 		Name: "n1-static", Kind: faas.Static, Fn: fn, N: n,
@@ -56,7 +68,6 @@ func Fig1(opts Options) *Fig1Result {
 		sched.At(ts, func() { fv.InvokePrimary(nil) })
 	}
 
-	res := &Fig1Result{}
 	points := int(duration/sim.Second) + 1
 	res.Guest.Reserve(points)
 	res.HostUsage.Reserve(points)
@@ -73,7 +84,6 @@ func Fig1(opts Options) *Fig1Result {
 	}
 	sched.At(0, tick)
 	sched.RunUntil(sim.Time(duration))
-	return res
 }
 
 // Table summarizes the series.
@@ -96,5 +106,5 @@ func last(xs []float64) float64 {
 }
 
 func init() {
-	Register("fig1", "Figure 1: static 50:1 VM — memory usage vs load", func(o Options) Result { return Fig1(o) })
+	RegisterPlan("fig1", "Figure 1: static 50:1 VM — memory usage vs load", Fig1Plan)
 }

@@ -44,27 +44,63 @@ type Fig10Result struct {
 // HarvestVM's buffers help latency but hold extra memory; Squeezy keeps
 // both tail latency (≈1.1x) and the memory integral low.
 func Fig10(opts Options) *Fig10Result {
+	return Fig10Plan(opts).runSerial(newWorld()).(*Fig10Result)
+}
+
+// Fig10Plan is the figure as a two-stage cell plan. The restricted
+// runs depend on data from the abundant runs — the host cap is half
+// the abundant peak — so the plan uses a Then continuation: stage one
+// simulates the three abundant baselines in parallel, stage two the
+// three capped runs.
+func Fig10Plan(opts Options) *Plan {
 	// The protocol needs the full two burst waves to build memory
 	// pressure, so Quick does not shrink this experiment (it runs in
 	// ~2 s of real time anyway).
 	duration := 320 * sim.Second
+	kinds := []faas.BackendKind{faas.VirtioMem, faas.Harvest, faas.Squeezy}
 	res := &Fig10Result{Baselines: make(map[string]Fig10Run)}
-	res.Abundant = fig10Run("abundant", faas.Squeezy, 0, duration, opts)
-	// The paper restricts the host to ~70% of the abundant peak; our
-	// synthetic bursts overlap less than the Azure traces, so a
-	// tighter 50% produces the same pressure frequency.
-	capBytes := res.Abundant.PeakCommittedBytes / 2
-	for _, kind := range []faas.BackendKind{faas.VirtioMem, faas.Harvest, faas.Squeezy} {
+	baselines := make([]Fig10Run, len(kinds)) // skipping Squeezy's (== Abundant)
+	capped := make([]Fig10Run, len(kinds))
+	p := &Plan{Assemble: func() Result {
+		for i, kind := range kinds {
+			if kind == faas.Squeezy {
+				res.Baselines[kind.String()] = res.Abundant
+			} else {
+				res.Baselines[kind.String()] = baselines[i]
+			}
+		}
+		res.Runs = append(res.Runs[:0], capped...)
+		return res
+	}}
+	p.Stage.Cell("abundant", func(w *World) {
+		res.Abundant = fig10Run(w, "abundant", faas.Squeezy, 0, duration, opts)
+	})
+	for i, kind := range kinds {
 		if kind == faas.Squeezy {
 			// The cap-sizing run already is the uncapped Squeezy
 			// configuration; don't simulate it a second time.
-			res.Baselines[kind.String()] = res.Abundant
-		} else {
-			res.Baselines[kind.String()] = fig10Run(kind.String()+"-abundant", kind, 0, duration, opts)
+			continue
 		}
-		res.Runs = append(res.Runs, fig10Run(kind.String(), kind, capBytes, duration, opts))
+		i, kind := i, kind
+		p.Stage.Cell(kind.String()+"-abundant", func(w *World) {
+			baselines[i] = fig10Run(w, kind.String()+"-abundant", kind, 0, duration, opts)
+		})
 	}
-	return res
+	p.Stage.Then = func() *Stage {
+		// The paper restricts the host to ~70% of the abundant peak; our
+		// synthetic bursts overlap less than the Azure traces, so a
+		// tighter 50% produces the same pressure frequency.
+		capBytes := res.Abundant.PeakCommittedBytes / 2
+		st := &Stage{}
+		for i, kind := range kinds {
+			i, kind := i, kind
+			st.Cell(kind.String()+"-capped", func(w *World) {
+				capped[i] = fig10Run(w, kind.String(), kind, capBytes, duration, opts)
+			})
+		}
+		return st
+	}
+	return p
 }
 
 // fig10Traces builds the per-function invocation schedule: a low base
@@ -87,10 +123,10 @@ func fig10Traces(duration sim.Duration, opts Options) map[string][]sim.Time {
 	return out
 }
 
-func fig10Run(label string, kind faas.BackendKind, hostCap int64, duration sim.Duration, opts Options) Fig10Run {
-	sched := sim.NewScheduler()
+func fig10Run(w *World, label string, kind faas.BackendKind, hostCap int64, duration sim.Duration, opts Options) Fig10Run {
+	sched := w.Scheduler()
 	host := hostmem.New(hostCap)
-	rt := faas.NewRuntime(sched, host, costmodel.Default())
+	rt := w.Runtime(host, costmodel.Default())
 	if kind == faas.Harvest {
 		rt.ProactiveFactor = 1.5
 	}
@@ -204,5 +240,5 @@ func (r *Fig10Result) Table() *Table {
 }
 
 func init() {
-	Register("fig10", "Figure 10: normalized P99 latency and memory integral under restricted host memory", func(o Options) Result { return Fig10(o) })
+	RegisterPlan("fig10", "Figure 10: normalized P99 latency and memory integral under restricted host memory", Fig10Plan)
 }

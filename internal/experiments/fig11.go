@@ -58,25 +58,32 @@ type Fig11Result struct {
 // per-instance footprint excludes the replicated guest OS and
 // dependencies.
 func Fig11(opts Options) *Fig11Result {
-	res := &Fig11Result{}
-	for _, fn := range workload.Functions() {
-		row := Fig11Row{Fn: fn.Name}
+	return Fig11Plan(opts).runSerial(newWorld()).(*Fig11Result)
+}
 
-		// 1:1: fresh microVM per instance.
-		{
-			sched := sim.NewScheduler()
+// Fig11Plan is the figure as a cell plan: two cells per function, one
+// for the 1:1 microVM cold start and one for the warmed N:1 VM.
+func Fig11Plan(opts Options) *Plan {
+	fns := workload.Functions()
+	res := &Fig11Result{Rows: make([]Fig11Row, len(fns))}
+	p := &Plan{Assemble: func() Result { return res }}
+	for i, fn := range fns {
+		i, fn := i, fn
+		res.Rows[i].Fn = fn.Name
+		p.Stage.Cell(fn.Name+"/1to1", func(w *World) {
+			// 1:1: fresh microVM per instance.
+			sched := w.Scheduler()
 			host := hostmem.New(0)
-			faas.ColdStart1to1(sched, host, costmodel.Default(), fn, func(p faas.Phases, fp int64) {
-				row.OneToOne = toPhases11(p)
-				row.Footprint1to1 = fp
+			faas.ColdStart1to1(sched, host, costmodel.Default(), fn, func(ph faas.Phases, fp int64) {
+				res.Rows[i].OneToOne = toPhases11(ph)
+				res.Rows[i].Footprint1to1 = fp
 			})
 			sched.Run()
-		}
-
-		// N:1: warmed Squeezy VM; measure the second instance.
-		{
-			sched := sim.NewScheduler()
-			rt := faas.NewRuntime(sched, hostmem.New(0), costmodel.Default())
+		})
+		p.Stage.Cell(fn.Name+"/Nto1", func(w *World) {
+			// N:1: warmed Squeezy VM; measure the second instance.
+			sched := w.Scheduler()
+			rt := w.Runtime(hostmem.New(0), costmodel.Default())
 			fv := rt.AddVM(faas.VMConfig{
 				Name: fn.Name, Kind: faas.Squeezy, Fn: fn, N: 4,
 				KeepAlive: 30 * sim.Second,
@@ -85,14 +92,13 @@ func Fig11(opts Options) *Fig11Result {
 			sched.RunUntil(sim.Time(60 * sim.Second))
 			popBefore := fv.VM.PopulatedPages()
 			fv.InvokePrimary(func(r faas.Result) {
-				row.NToOne = toPhases11(r.Phases)
-				row.FootprintN1 = units.PagesToBytes(fv.VM.PopulatedPages() - popBefore)
+				res.Rows[i].NToOne = toPhases11(r.Phases)
+				res.Rows[i].FootprintN1 = units.PagesToBytes(fv.VM.PopulatedPages() - popBefore)
 			})
 			sched.RunUntil(sim.Time(120 * sim.Second))
-		}
-		res.Rows = append(res.Rows, row)
+		})
 	}
-	return res
+	return p
 }
 
 // ColdStartSpeedup returns the geomean of 1:1/N:1 cold start times
@@ -137,5 +143,5 @@ func (r *Fig11Result) Table() *Table {
 }
 
 func init() {
-	Register("fig11", "Figure 11: 1:1 vs N:1 cold start (ms) and footprint (MiB)", func(o Options) Result { return Fig11(o) })
+	RegisterPlan("fig11", "Figure 11: 1:1 vs N:1 cold start (ms) and footprint (MiB)", Fig11Plan)
 }

@@ -19,24 +19,41 @@ type Fig2Result struct {
 // creations and evictions per minute. Thousands of instances churn per
 // minute, motivating agile VM resizing.
 func Fig2(opts Options) *Fig2Result {
+	return Fig2Plan(opts).runSerial(newWorld()).(*Fig2Result)
+}
+
+// Fig2Plan decomposes Figure 2 into one cell per top-10 function: each
+// cell generates only its own rank's trace and replays it through the
+// churn model; Assemble sums the per-minute points across ranks.
+func Fig2Plan(opts Options) *Plan {
 	duration := sim.Duration(sim.Hour)
 	if opts.Quick {
 		duration = 10 * sim.Minute
 	}
-	traces := trace.GenTopTen(opts.seed(), duration)
-	minutes := int((duration + sim.Minute - 1) / sim.Minute)
-	agg := make([]trace.ChurnPoint, minutes)
-	for i := range agg {
-		agg[i].Minute = i
-	}
-	for _, tr := range traces {
-		pts := trace.InstanceChurn(tr, sim.Second, 5*sim.Minute, duration)
-		for i, p := range pts {
-			agg[i].Creations += p.Creations
-			agg[i].Evictions += p.Evictions
+	const ranks = 10
+	perRank := make([][]trace.ChurnPoint, ranks)
+	p := &Plan{Assemble: func() Result {
+		minutes := int((duration + sim.Minute - 1) / sim.Minute)
+		agg := make([]trace.ChurnPoint, minutes)
+		for i := range agg {
+			agg[i].Minute = i
 		}
+		for _, pts := range perRank {
+			for i, pt := range pts {
+				agg[i].Creations += pt.Creations
+				agg[i].Evictions += pt.Evictions
+			}
+		}
+		return &Fig2Result{Points: agg}
+	}}
+	for i := 0; i < ranks; i++ {
+		i := i
+		p.Stage.Cell(fmt.Sprintf("rank%d", i), func(*World) {
+			tr := trace.TopTenTrace(opts.seed(), duration, i)
+			perRank[i] = trace.InstanceChurn(tr, sim.Second, 5*sim.Minute, duration)
+		})
 	}
-	return &Fig2Result{Points: agg}
+	return p
 }
 
 // PeakCreations returns the busiest minute's creation count.
@@ -74,5 +91,5 @@ func (r *Fig2Result) Table() *Table {
 }
 
 func init() {
-	Register("fig2", "Figure 2: instance creations/evictions per minute (top-10 functions)", func(o Options) Result { return Fig2(o) })
+	RegisterPlan("fig2", "Figure 2: instance creations/evictions per minute (top-10 functions)", Fig2Plan)
 }

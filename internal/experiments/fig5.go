@@ -8,7 +8,6 @@ import (
 	"squeezy/internal/costmodel"
 	"squeezy/internal/guestos"
 	"squeezy/internal/hostmem"
-	"squeezy/internal/sim"
 	"squeezy/internal/stats"
 	"squeezy/internal/units"
 	"squeezy/internal/virtiomem"
@@ -40,27 +39,37 @@ type Fig5Result struct {
 // latency is the average over the 32 reclamation steps, per memory
 // size and interface.
 func Fig5(opts Options) *Fig5Result {
+	return Fig5Plan(opts).runSerial(newWorld()).(*Fig5Result)
+}
+
+// Fig5Plan is the figure as a cell plan: one cell per size × method
+// combination.
+func Fig5Plan(opts Options) *Plan {
 	sizes := []int64{128, 256, 512, 1024, 2048}
 	instances := 32
 	if opts.Quick {
 		sizes = []int64{128, 512}
 		instances = 8
 	}
-	res := &Fig5Result{}
-	for _, sizeMiB := range sizes {
-		for _, method := range []string{"balloon", "virtio-mem", "squeezy"} {
-			row := fig5Run(method, sizeMiB*units.MiB, instances)
-			res.Rows = append(res.Rows, row)
+	methods := []string{"balloon", "virtio-mem", "squeezy"}
+	res := &Fig5Result{Rows: make([]Fig5Row, len(sizes)*len(methods))}
+	p := &Plan{Assemble: func() Result { return res }}
+	for si, sizeMiB := range sizes {
+		for mi, method := range methods {
+			i, sizeMiB, method := si*len(methods)+mi, sizeMiB, method
+			p.Stage.Cell(fmt.Sprintf("%s/%dMiB", method, sizeMiB), func(w *World) {
+				res.Rows[i] = fig5Run(w, method, sizeMiB*units.MiB, instances)
+			})
 		}
 	}
-	return res
+	return p
 }
 
-func fig5Run(method string, instSize int64, n int) Fig5Row {
-	sched := sim.NewScheduler()
+func fig5Run(w *World, method string, instSize int64, n int) Fig5Row {
+	sched := w.Scheduler()
 	host := hostmem.New(0)
 	cost := costmodel.Default()
-	vm := vmm.New("fig5", sched, cost, host, float64(n))
+	vm := w.VM("fig5", cost, host, float64(n))
 	vm.PinReclaimThreads()
 
 	instBytes := units.AlignUp(instSize, units.BlockSize)
@@ -71,7 +80,7 @@ func fig5Run(method string, instSize int64, n int) Fig5Row {
 
 	switch method {
 	case "squeezy":
-		k = guestos.NewKernel(vm, guestos.Config{
+		k = w.Kernel(vm, guestos.Config{
 			BootBytes:           units.BlockSize,
 			KernelResidentBytes: 32 * units.MiB,
 		})
@@ -79,7 +88,7 @@ func fig5Run(method string, instSize int64, n int) Fig5Row {
 		sq.Plug(n, func(int) {})
 		sched.Run()
 	default:
-		k = guestos.NewKernel(vm, guestos.Config{
+		k = w.Kernel(vm, guestos.Config{
 			BootBytes:           units.BlockSize,
 			MovableBytes:        int64(n) * instBytes,
 			KernelResidentBytes: 32 * units.MiB,
@@ -209,5 +218,5 @@ func (r *Fig5Result) Speedup(slow, fast string) float64 {
 }
 
 func init() {
-	Register("fig5", "Figure 5: reclaim latency (ms) by size and interface", func(o Options) Result { return Fig5(o) })
+	RegisterPlan("fig5", "Figure 5: reclaim latency (ms) by size and interface", Fig5Plan)
 }

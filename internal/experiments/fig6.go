@@ -11,7 +11,6 @@ import (
 	"squeezy/internal/sim"
 	"squeezy/internal/units"
 	"squeezy/internal/virtiomem"
-	"squeezy/internal/vmm"
 	"squeezy/internal/workload"
 )
 
@@ -34,29 +33,42 @@ type Fig6Result struct {
 // isolate the migration effect. Vanilla latency climbs (and jitters)
 // with utilization; Squeezy stays flat at ≈125 ms.
 func Fig6(opts Options) *Fig6Result {
+	return Fig6Plan(opts).runSerial(newWorld()).(*Fig6Result)
+}
+
+// Fig6Plan is the figure as a cell plan: one cell per utilization ×
+// method point. These are the largest single worlds in the registry
+// (64 GiB spans), so the pooled ord arrays and bitmaps pay off most
+// here.
+func Fig6Plan(opts Options) *Plan {
 	vmBytes := int64(64) * units.GiB
 	utils := []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90}
 	if opts.Quick {
 		vmBytes = 8 * units.GiB
 		utils = []int{0, 30, 60, 90}
 	}
-	res := &Fig6Result{}
-	for _, u := range utils {
-		for _, method := range []string{"virtio-mem", "squeezy"} {
-			lat := fig6Run(method, vmBytes, u, opts.seed())
-			res.Points = append(res.Points, Fig6Point{UtilizationPct: u, Method: method, LatencyMs: lat})
+	methods := []string{"virtio-mem", "squeezy"}
+	res := &Fig6Result{Points: make([]Fig6Point, len(utils)*len(methods))}
+	p := &Plan{Assemble: func() Result { return res }}
+	for ui, u := range utils {
+		for mi, method := range methods {
+			i, u, method := ui*len(methods)+mi, u, method
+			p.Stage.Cell(fmt.Sprintf("%s/util%d", method, u), func(w *World) {
+				lat := fig6Run(w, method, vmBytes, u, opts.seed())
+				res.Points[i] = Fig6Point{UtilizationPct: u, Method: method, LatencyMs: lat}
+			})
 		}
 	}
-	return res
+	return p
 }
 
-func fig6Run(method string, vmBytes int64, utilPct int, seed uint64) float64 {
+func fig6Run(w *World, method string, vmBytes int64, utilPct int, seed uint64) float64 {
 	const reclaim = 2 * units.GiB
-	sched := sim.NewScheduler()
+	sched := w.Scheduler()
 	host := hostmem.New(0)
 	cost := costmodel.Default()
 	cost.ZeroOnUnplug = false // isolate migrations, as the paper does
-	vm := vmm.New("fig6", sched, cost, host, 8)
+	vm := w.VM("fig6", cost, host, 8)
 	vm.PinReclaimThreads()
 	rng := rand.New(rand.NewPCG(seed, uint64(utilPct)))
 
@@ -66,7 +78,7 @@ func fig6Run(method string, vmBytes int64, utilPct int, seed uint64) float64 {
 
 	switch method {
 	case "squeezy":
-		k := guestos.NewKernel(vm, guestos.Config{
+		k := w.Kernel(vm, guestos.Config{
 			BootBytes:           units.BlockSize,
 			KernelResidentBytes: 32 * units.MiB,
 		})
@@ -98,7 +110,7 @@ func fig6Run(method string, vmBytes int64, utilPct int, seed uint64) float64 {
 		return lat.Milliseconds()
 
 	default:
-		k := guestos.NewKernel(vm, guestos.Config{
+		k := w.Kernel(vm, guestos.Config{
 			BootBytes:           units.BlockSize,
 			MovableBytes:        vmBytes,
 			KernelResidentBytes: 32 * units.MiB,
@@ -197,5 +209,5 @@ func (r *Fig6Result) Table() *Table {
 }
 
 func init() {
-	Register("fig6", "Figure 6: latency to unplug 2 GiB vs memory utilization", func(o Options) Result { return Fig6(o) })
+	RegisterPlan("fig6", "Figure 6: latency to unplug 2 GiB vs memory utilization", Fig6Plan)
 }

@@ -13,7 +13,6 @@ import (
 	"squeezy/internal/sim"
 	"squeezy/internal/units"
 	"squeezy/internal/virtiomem"
-	"squeezy/internal/vmm"
 	"squeezy/internal/workload"
 )
 
@@ -76,28 +75,38 @@ type Fig7Result struct {
 // Ballooning spikes the host thread, vanilla virtio-mem burns the guest
 // vCPU on migrations, Squeezy uses almost nothing.
 func Fig7(opts Options) *Fig7Result {
+	return Fig7Plan(opts).runSerial(newWorld()).(*Fig7Result)
+}
+
+// Fig7Plan is the figure as a cell plan: one cell per method.
+func Fig7Plan(opts Options) *Plan {
 	duration := 200 * sim.Second
 	if opts.Quick {
 		duration = 60 * sim.Second
 	}
-	res := &Fig7Result{}
-	for _, method := range []string{"balloon", "virtio-mem", "squeezy"} {
-		res.Series = append(res.Series, fig7Run(method, duration, opts.seed()))
+	methods := []string{"balloon", "virtio-mem", "squeezy"}
+	res := &Fig7Result{Series: make([]Fig7Series, len(methods))}
+	p := &Plan{Assemble: func() Result { return res }}
+	for i, method := range methods {
+		i, method := i, method
+		p.Stage.Cell(method, func(w *World) {
+			res.Series[i] = fig7Run(w, method, duration, opts.seed())
+		})
 	}
-	return res
+	return p
 }
 
-func fig7Run(method string, duration sim.Duration, seed uint64) Fig7Series {
+func fig7Run(w *World, method string, duration sim.Duration, seed uint64) Fig7Series {
 	const (
 		vmBytes   = 16 * units.GiB
 		loadBytes = 8 * units.GiB
 		reclaim   = 512 * units.MiB
 		period    = 10 * sim.Second
 	)
-	sched := sim.NewScheduler()
+	sched := w.Scheduler()
 	host := hostmem.New(0)
 	cost := costmodel.Default()
-	vm := vmm.New("fig7", sched, cost, host, 8)
+	vm := w.VM("fig7", cost, host, 8)
 	vm.PinReclaimThreads() // dedicated guest vCPU, as in §6.1.2
 	rng := rand.New(rand.NewPCG(seed, 7))
 
@@ -109,7 +118,7 @@ func fig7Run(method string, duration sim.Duration, seed uint64) Fig7Series {
 
 	switch method {
 	case "squeezy":
-		k = guestos.NewKernel(vm, guestos.Config{BootBytes: units.BlockSize, KernelResidentBytes: 32 * units.MiB})
+		k = w.Kernel(vm, guestos.Config{BootBytes: units.BlockSize, KernelResidentBytes: 32 * units.MiB})
 		n := int(vmBytes / reclaim)
 		sq = core.NewManager(k, core.Config{PartitionBytes: reclaim, Concurrency: n})
 		loadParts := int(loadBytes / reclaim)
@@ -122,7 +131,7 @@ func fig7Run(method string, duration sim.Duration, seed uint64) Fig7Series {
 		}
 		guestClass, hostClass = core.GuestClass, core.HostClass
 	default:
-		k = guestos.NewKernel(vm, guestos.Config{
+		k = w.Kernel(vm, guestos.Config{
 			BootBytes: units.BlockSize, MovableBytes: vmBytes, KernelResidentBytes: 32 * units.MiB,
 		})
 		if method == "virtio-mem" {
@@ -198,5 +207,5 @@ func (r *Fig7Result) Table() *Table {
 }
 
 func init() {
-	Register("fig7", "Figure 7: reclaim-thread CPU utilization (%) over repeated 512 MiB reclaims", func(o Options) Result { return Fig7(o) })
+	RegisterPlan("fig7", "Figure 7: reclaim-thread CPU utilization (%) over repeated 512 MiB reclaims", Fig7Plan)
 }

@@ -30,43 +30,61 @@ type Fig8Result struct {
 // evictions trigger unplugs; the figure reports the memory reclamation
 // throughput achieved per function, for vanilla virtio-mem vs Squeezy.
 func Fig8(opts Options) *Fig8Result {
+	return Fig8Plan(opts).runSerial(newWorld()).(*Fig8Result)
+}
+
+// Fig8Plan is the figure as a cell plan: one cell per backend ×
+// function combination.
+func Fig8Plan(opts Options) *Plan {
 	duration := 8 * sim.Minute
 	keepAlive := 45 * sim.Second
 	if opts.Quick {
 		duration = 3 * sim.Minute
 		keepAlive = 20 * sim.Second
 	}
-	res := &Fig8Result{}
-	for _, kind := range []faas.BackendKind{faas.VirtioMem, faas.Squeezy} {
-		for fi, fn := range workload.Functions() {
-			tr := trace.GenBursty(opts.seed()+uint64(fi)*31, trace.BurstyConfig{
-				Duration: sim.Duration(duration) * 3 / 5,
-				BaseRPS:  0.2,
-				BurstRPS: 4,
-				BurstLen: 15 * sim.Second,
-				BurstGap: 40 * sim.Second,
-			})
-			n := trace.PeakConcurrency(tr, fn.ExecCPU+8*sim.Second) + 2
-
-			sched := sim.NewScheduler()
-			rt := faas.NewRuntime(sched, hostmem.New(0), costmodel.Default())
-			fv := rt.AddVM(faas.VMConfig{
-				Name: fn.Name, Kind: kind, Fn: fn, N: n, KeepAlive: keepAlive,
-			})
-			for _, ts := range tr.Times {
-				ts := ts
-				sched.At(ts, func() { fv.InvokePrimary(nil) })
-			}
-			sched.RunUntil(sim.Time(duration))
-			sched.Run() // drain keep-alive evictions and unplugs
-			res.Rows = append(res.Rows, Fig8Row{
-				Fn: fn.Name, Method: kind.String(),
-				ThroughputMiBs: fv.ReclaimThroughputMiBs(),
-				ReclaimOps:     fv.ReclaimOps,
+	kinds := []faas.BackendKind{faas.VirtioMem, faas.Squeezy}
+	fns := workload.Functions()
+	res := &Fig8Result{Rows: make([]Fig8Row, len(kinds)*len(fns))}
+	p := &Plan{Assemble: func() Result { return res }}
+	for ki, kind := range kinds {
+		for fi, fn := range fns {
+			i, kind, fi, fn := ki*len(fns)+fi, kind, fi, fn
+			p.Stage.Cell(kind.String()+"/"+fn.Name, func(w *World) {
+				res.Rows[i] = fig8Run(w, opts, kind, fi, fn, duration, keepAlive)
 			})
 		}
 	}
-	return res
+	return p
+}
+
+func fig8Run(w *World, opts Options, kind faas.BackendKind, fi int, fn *workload.Function,
+	duration, keepAlive sim.Duration) Fig8Row {
+
+	tr := trace.GenBursty(opts.seed()+uint64(fi)*31, trace.BurstyConfig{
+		Duration: sim.Duration(duration) * 3 / 5,
+		BaseRPS:  0.2,
+		BurstRPS: 4,
+		BurstLen: 15 * sim.Second,
+		BurstGap: 40 * sim.Second,
+	})
+	n := trace.PeakConcurrency(tr, fn.ExecCPU+8*sim.Second) + 2
+
+	sched := w.Scheduler()
+	rt := w.Runtime(hostmem.New(0), costmodel.Default())
+	fv := rt.AddVM(faas.VMConfig{
+		Name: fn.Name, Kind: kind, Fn: fn, N: n, KeepAlive: keepAlive,
+	})
+	for _, ts := range tr.Times {
+		ts := ts
+		sched.At(ts, func() { fv.InvokePrimary(nil) })
+	}
+	sched.RunUntil(sim.Time(duration))
+	sched.Run() // drain keep-alive evictions and unplugs
+	return Fig8Row{
+		Fn: fn.Name, Method: kind.String(),
+		ThroughputMiBs: fv.ReclaimThroughputMiBs(),
+		ReclaimOps:     fv.ReclaimOps,
+	}
 }
 
 // Throughput returns the measured throughput for a function/method.
@@ -115,5 +133,5 @@ func (r *Fig8Result) Table() *Table {
 }
 
 func init() {
-	Register("fig8", "Figure 8: memory reclamation throughput (MiB/s) under FaaS load", func(o Options) Result { return Fig8(o) })
+	RegisterPlan("fig8", "Figure 8: memory reclamation throughput (MiB/s) under FaaS load", Fig8Plan)
 }

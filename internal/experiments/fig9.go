@@ -87,21 +87,31 @@ type Fig9Result struct {
 // Vanilla virtio-mem's migrations steal CNN's CPU and more than double
 // its latency; Squeezy's unplug is invisible.
 func Fig9(opts Options) *Fig9Result {
+	return Fig9Plan(opts).runSerial(newWorld()).(*Fig9Result)
+}
+
+// Fig9Plan is the figure as a cell plan: one cell per backend.
+func Fig9Plan(opts Options) *Plan {
 	duration := 280 * sim.Second
 	htmlStop := 150 * sim.Second
 	keepAlive := 45 * sim.Second
-	res := &Fig9Result{}
-	for _, kind := range []faas.BackendKind{faas.VirtioMem, faas.Squeezy} {
-		res.Series = append(res.Series, fig9Run(kind, duration, htmlStop, keepAlive, opts))
+	kinds := []faas.BackendKind{faas.VirtioMem, faas.Squeezy}
+	res := &Fig9Result{Series: make([]Fig9Series, len(kinds))}
+	p := &Plan{Assemble: func() Result { return res }}
+	for i, kind := range kinds {
+		i, kind := i, kind
+		p.Stage.Cell(kind.String(), func(w *World) {
+			res.Series[i] = fig9Run(w, kind, duration, htmlStop, keepAlive, opts)
+		})
 	}
-	return res
+	return p
 }
 
-func fig9Run(kind faas.BackendKind, duration, htmlStop, keepAlive sim.Duration, opts Options) Fig9Series {
+func fig9Run(w *World, kind faas.BackendKind, duration, htmlStop, keepAlive sim.Duration, opts Options) Fig9Series {
 	cnn := workload.ByName("Cnn")
 	html := workload.ByName("HTML")
-	sched := sim.NewScheduler()
-	rt := faas.NewRuntime(sched, hostmem.New(0), costmodel.Default())
+	sched := w.Scheduler()
+	rt := w.Runtime(hostmem.New(0), costmodel.Default())
 	fv := rt.AddVM(faas.VMConfig{
 		Name: "colo", Kind: kind, Fn: cnn, CoFns: []*workload.Function{html},
 		N: 32, KeepAlive: keepAlive,
@@ -177,5 +187,5 @@ func (r *Fig9Result) Table() *Table {
 }
 
 func init() {
-	Register("fig9", "Figure 9: CNN request latency around the HTML scale-down", func(o Options) Result { return Fig9(o) })
+	RegisterPlan("fig9", "Figure 9: CNN request latency around the HTML scale-down", Fig9Plan)
 }

@@ -30,21 +30,33 @@ type PlugLatencyResult struct {
 
 // PlugLatency reproduces the §6.2.1 scale-up study.
 func PlugLatency(opts Options) *PlugLatencyResult {
-	res := &PlugLatencyResult{}
-	for _, fn := range workload.Functions() {
-		row := PlugLatencyRow{Fn: fn.Name}
-		row.ResizedColdMs, row.PlugMs = coldStartOn(faas.Squeezy, fn)
-		row.StaticColdMs, _ = coldStartOn(faas.Static, fn)
-		res.Rows = append(res.Rows, row)
+	return PlugLatencyPlan(opts).runSerial(newWorld()).(*PlugLatencyResult)
+}
+
+// PlugLatencyPlan is the study as a cell plan: two cells per function,
+// one per backend.
+func PlugLatencyPlan(opts Options) *Plan {
+	fns := workload.Functions()
+	res := &PlugLatencyResult{Rows: make([]PlugLatencyRow, len(fns))}
+	p := &Plan{Assemble: func() Result { return res }}
+	for i, fn := range fns {
+		i, fn := i, fn
+		res.Rows[i].Fn = fn.Name
+		p.Stage.Cell(fn.Name+"/squeezy", func(w *World) {
+			res.Rows[i].ResizedColdMs, res.Rows[i].PlugMs = coldStartOn(w, faas.Squeezy, fn)
+		})
+		p.Stage.Cell(fn.Name+"/static", func(w *World) {
+			res.Rows[i].StaticColdMs, _ = coldStartOn(w, faas.Static, fn)
+		})
 	}
-	return res
+	return p
 }
 
 // coldStartOn measures a warmed-VM cold start for one backend,
 // returning the total and the plug (VMM) latency in ms.
-func coldStartOn(kind faas.BackendKind, fn *workload.Function) (totalMs, plugMs float64) {
-	sched := sim.NewScheduler()
-	rt := faas.NewRuntime(sched, hostmem.New(0), costmodel.Default())
+func coldStartOn(w *World, kind faas.BackendKind, fn *workload.Function) (totalMs, plugMs float64) {
+	sched := w.Scheduler()
+	rt := w.Runtime(hostmem.New(0), costmodel.Default())
 	fv := rt.AddVM(faas.VMConfig{
 		Name: fn.Name, Kind: kind, Fn: fn, N: 4, KeepAlive: 20 * sim.Second,
 	})
@@ -70,5 +82,5 @@ func (r *PlugLatencyResult) Table() *Table {
 }
 
 func init() {
-	Register("pluglat", "§6.2.1: plug latency and the cost of cold-starting on a resized VM", func(o Options) Result { return PlugLatency(o) })
+	RegisterPlan("pluglat", "§6.2.1: plug latency and the cost of cold-starting on a resized VM", PlugLatencyPlan)
 }

@@ -19,32 +19,50 @@ type Experiment interface {
 	Name() string
 	// Describe is a one-line summary shown by `squeezyctl list`.
 	Describe() string
-	// Run executes the driver. It must be a pure function of
+	// Run executes the driver serially. It must be a pure function of
 	// opts.Seed: equal seeds give byte-identical tables.
 	Run(opts Options) Result
+	// Plan enumerates the driver's cells for the unified executor.
+	// Executing the plan (at any worker count) must produce the same
+	// result as Run.
+	Plan(opts Options) *Plan
 }
 
-// funcExperiment adapts a plain driver function to Experiment.
-type funcExperiment struct {
+// planExperiment adapts a plan-enumerating driver function to
+// Experiment.
+type planExperiment struct {
 	name string
 	desc string
-	run  func(Options) Result
+	plan func(Options) *Plan
 }
 
-func (e funcExperiment) Name() string            { return e.name }
-func (e funcExperiment) Describe() string        { return e.desc }
-func (e funcExperiment) Run(opts Options) Result { return e.run(opts) }
+func (e planExperiment) Name() string            { return e.name }
+func (e planExperiment) Describe() string        { return e.desc }
+func (e planExperiment) Run(opts Options) Result { return e.plan(opts).runSerial(newWorld()) }
+func (e planExperiment) Plan(opts Options) *Plan { return e.plan(opts) }
 
 var registry = map[string]Experiment{}
 
-// Register adds an experiment under its name. Drivers call it from
-// init(), so importing this package is enough to populate the
-// registry. Duplicate names panic: they are a build-time bug.
-func Register(name, desc string, run func(Options) Result) {
+// RegisterPlan adds a cell-plan experiment under its name. Drivers
+// call it from init(), so importing this package is enough to populate
+// the registry. Duplicate names panic: they are a build-time bug.
+func RegisterPlan(name, desc string, plan func(Options) *Plan) {
 	if _, dup := registry[name]; dup {
 		panic(fmt.Sprintf("experiments: duplicate registration of %q", name))
 	}
-	registry[name] = funcExperiment{name: name, desc: desc, run: run}
+	registry[name] = planExperiment{name: name, desc: desc, plan: plan}
+}
+
+// Register adds an experiment from a plain driver function, wrapped as
+// a single-cell plan. Sweep drivers should prefer RegisterPlan so the
+// executor can spread their cells across workers.
+func Register(name, desc string, run func(Options) Result) {
+	RegisterPlan(name, desc, func(opts Options) *Plan {
+		var res Result
+		p := &Plan{Assemble: func() Result { return res }}
+		p.Stage.Cell(name, func(w *World) { res = run(opts) })
+		return p
+	})
 }
 
 // Get returns the named experiment, or false if none is registered.

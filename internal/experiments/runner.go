@@ -8,34 +8,51 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 )
 
 // The runner executes a batch of experiments — optionally several
-// trials of each under derived seeds — across a worker pool. Results
-// come back in a deterministic (experiment, trial) order that does
-// not depend on the worker count, so a -parallel 8 run is
-// byte-identical to a serial one.
+// trials of each under derived seeds — as one unified pool of cells:
+// every experiment's plan is enumerated up front and the cells of all
+// experiments × trials × stages are scheduled together, so a single
+// slow sweep no longer serializes a whole worker while others idle.
+// Results come back in a deterministic (experiment, trial) order with
+// rows assembled in cell-enumeration order, so the encoded output does
+// not depend on the worker count: a -parallel 8 run is byte-identical
+// to a serial one.
+
+// SubSeed derives a well-separated random stream for the given
+// coordinates under a base seed, mixing each dimension through
+// splitmix64. It is the single sub-seed derivation used for both
+// trials (TrialSeed) and cells, so adjacent coordinates — trial 3 and
+// trial 4, cell 7 and cell 8 — never produce correlated streams the
+// way naive base+index arithmetic can. The result is never 0, which
+// Options would remap to the default seed.
+func SubSeed(base uint64, dims ...int) uint64 {
+	x := base
+	for _, d := range dims {
+		x += uint64(d) * 0x9E3779B97F4A7C15
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+	}
+	if x == 0 {
+		x = 0x9E3779B97F4A7C15
+	}
+	return x
+}
 
 // TrialSeed derives the seed for trial t of a run with the given base
 // seed. Trial 0 uses the base seed unchanged, so a single-trial run
-// reproduces a plain `run -seed N` exactly; later trials mix the
-// trial index through splitmix64, giving well-separated streams even
-// for adjacent base seeds.
+// reproduces a plain `run -seed N` exactly; later trials draw from
+// SubSeed, giving well-separated streams even for adjacent base seeds.
 func TrialSeed(base uint64, trial int) uint64 {
 	if trial == 0 {
 		return base
 	}
-	x := base + uint64(trial)*0x9E3779B97F4A7C15
-	x ^= x >> 30
-	x *= 0xBF58476D1CE4E5B9
-	x ^= x >> 27
-	x *= 0x94D049BB133111EB
-	x ^= x >> 31
-	if x == 0 {
-		// Options treats seed 0 as "use the default"; avoid aliasing.
-		x = 0x9E3779B97F4A7C15
-	}
-	return x
+	return SubSeed(base, trial)
 }
 
 // Report is one completed experiment×trial unit. It carries only
@@ -50,12 +67,43 @@ type Report struct {
 	Table       *Table `json:"table"`
 }
 
-// Run executes each named experiment for the given number of trials
-// on a pool of `workers` goroutines (workers<=0 selects GOMAXPROCS).
+// CellStat is the measured wall-clock time of one executed cell, for
+// `squeezyctl -cellstats`. Wall times are scheduling-dependent and
+// never part of a Report.
+type CellStat struct {
+	Experiment string
+	Trial      int
+	Label      string
+	Wall       time.Duration
+}
+
+// Run executes each named experiment for the given number of trials on
+// a pool of `workers` goroutines (workers<=0 selects GOMAXPROCS).
 // Trial t runs with TrialSeed(opts.seed(), t). The returned reports
 // are ordered by (position in names, trial) regardless of scheduling,
 // and an unknown name fails up front before anything runs.
 func Run(names []string, opts Options, trials, workers int) ([]Report, error) {
+	reports, _, err := RunWithCellStats(names, opts, trials, workers)
+	return reports, err
+}
+
+// planRun tracks one report's progress through its plan's stages.
+type planRun struct {
+	report *Report
+	plan   *Plan
+	stage  *Stage
+	left   int // cells of the current stage still running or queued
+}
+
+// cellUnit is one schedulable cell of one report.
+type cellUnit struct {
+	pr   *planRun
+	cell Cell
+}
+
+// RunWithCellStats is Run plus the per-cell wall-clock timings of the
+// executed cells, in completion order.
+func RunWithCellStats(names []string, opts Options, trials, workers int) ([]Report, []CellStat, error) {
 	if trials <= 0 {
 		trials = 1
 	}
@@ -66,48 +114,144 @@ func Run(names []string, opts Options, trials, workers int) ([]Report, error) {
 	for i, n := range names {
 		e, ok := Get(n)
 		if !ok {
-			return nil, fmt.Errorf("unknown experiment %q (see `squeezyctl list`)", n)
+			return nil, nil, fmt.Errorf("unknown experiment %q (see `squeezyctl list`)", n)
 		}
 		exps[i] = e
 	}
 
 	base := opts.seed()
 	reports := make([]Report, len(exps)*trials)
+	runs := make([]*planRun, len(reports))
 	for i, e := range exps {
 		for t := 0; t < trials; t++ {
-			reports[i*trials+t] = Report{
+			r := &reports[i*trials+t]
+			*r = Report{
 				Experiment:  e.Name(),
 				Description: e.Describe(),
 				Trial:       t,
 				Seed:        TrialSeed(base, t),
 				Quick:       opts.Quick,
 			}
+			o := opts
+			o.Seed = r.Seed
+			plan := e.Plan(o)
+			runs[i*trials+t] = &planRun{report: r, plan: plan, stage: &plan.Stage}
 		}
 	}
 
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	if workers > len(reports) {
-		workers = len(reports)
+	x := &executor{pending: len(runs)}
+	x.cond = sync.NewCond(&x.mu)
+	for _, pr := range runs {
+		x.advance(pr)
 	}
-	for w := 0; w < workers; w++ {
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				r := &reports[j]
-				o := opts
-				o.Seed = r.Seed
-				r.Table = exps[j/trials].Run(o).Table()
-			}
+			x.work(newWorld())
 		}()
 	}
-	for j := range reports {
-		jobs <- j
-	}
-	close(jobs)
 	wg.Wait()
-	return reports, nil
+	return reports, x.stats, nil
+}
+
+// executor is the shared scheduling state of one RunWithCellStats
+// call: a FIFO of runnable cells plus per-report stage bookkeeping.
+// All fields are guarded by mu; cell simulations run outside the lock.
+type executor struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []cellUnit
+	pending int // reports not yet assembled
+	stats   []CellStat
+}
+
+// advance schedules pr's current stage, walking the Then chain past
+// empty stages; when the chain ends the report is assembled. The
+// caller must own pr exclusively — at batch start, or as the worker
+// that drained the stage's last cell. Then and Assemble run outside
+// the executor lock, so a slow continuation never stalls the pool;
+// the lock is taken only to publish the stage's cells.
+func (x *executor) advance(pr *planRun) {
+	for {
+		if len(pr.stage.Cells) > 0 {
+			x.mu.Lock()
+			pr.left = len(pr.stage.Cells)
+			for _, c := range pr.stage.Cells {
+				x.queue = append(x.queue, cellUnit{pr: pr, cell: c})
+			}
+			x.cond.Broadcast()
+			x.mu.Unlock()
+			return
+		}
+		if pr.stage.Then == nil {
+			break
+		}
+		next := pr.stage.Then()
+		if next == nil {
+			break
+		}
+		pr.stage = next
+	}
+	pr.report.Table = pr.plan.Assemble().Table()
+	x.mu.Lock()
+	x.pending--
+	if x.pending == 0 {
+		x.cond.Broadcast()
+	}
+	x.mu.Unlock()
+}
+
+// work is one worker's loop: pop a cell, simulate it on the pooled
+// world, and on the stage's last cell advance the report to its next
+// stage (or assemble it).
+func (x *executor) work(w *World) {
+	for {
+		x.mu.Lock()
+		for len(x.queue) == 0 && x.pending > 0 {
+			x.cond.Wait()
+		}
+		if len(x.queue) == 0 {
+			x.mu.Unlock()
+			return
+		}
+		u := x.queue[0]
+		x.queue = x.queue[1:]
+		x.mu.Unlock()
+
+		w.begin()
+		start := time.Now()
+		u.cell.Run(w)
+		wall := time.Since(start)
+		w.endCell()
+
+		x.mu.Lock()
+		x.stats = append(x.stats, CellStat{
+			Experiment: u.pr.report.Experiment,
+			Trial:      u.pr.report.Trial,
+			Label:      u.cell.Label,
+			Wall:       wall,
+		})
+		u.pr.left--
+		last := u.pr.left == 0
+		x.mu.Unlock()
+		if !last {
+			continue
+		}
+		// Stage drained; this worker now owns pr. Follow the Then
+		// continuation (which may read the finished cells' results)
+		// outside the lock, or end the chain.
+		var next *Stage
+		if then := u.pr.stage.Then; then != nil {
+			next = then()
+		}
+		if next == nil {
+			next = &Stage{}
+		}
+		u.pr.stage = next
+		x.advance(u.pr)
+	}
 }
 
 // EncodeText writes each report's aligned-text table, separated by
@@ -143,16 +287,23 @@ func EncodeJSON(w io.Writer, reports []Report) error {
 // EncodeCSV writes all reports as one CSV stream. Each table
 // contributes its header record then its rows, every record prefixed
 // with (experiment, trial, seed) columns so concatenated tables of
-// different shapes remain self-describing.
+// different shapes remain self-describing. One record buffer is reused
+// across all rows: encoding allocates per report, not per row.
 func EncodeCSV(w io.Writer, reports []Report) error {
 	cw := csv.NewWriter(w)
+	var rec []string
 	for _, r := range reports {
-		prefix := []string{r.Experiment, strconv.Itoa(r.Trial), strconv.FormatUint(r.Seed, 10)}
-		if err := cw.Write(append(append([]string{}, prefix...), r.Table.Header...)); err != nil {
+		prefix := [...]string{r.Experiment, strconv.Itoa(r.Trial), strconv.FormatUint(r.Seed, 10)}
+		write := func(cells []string) error {
+			rec = append(rec[:0], prefix[:]...)
+			rec = append(rec, cells...)
+			return cw.Write(rec)
+		}
+		if err := write(r.Table.Header); err != nil {
 			return err
 		}
 		for _, row := range r.Table.Rows {
-			if err := cw.Write(append(append([]string{}, prefix...), row...)); err != nil {
+			if err := write(row); err != nil {
 				return err
 			}
 		}

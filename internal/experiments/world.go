@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"squeezy/internal/cluster"
+	"squeezy/internal/costmodel"
+	"squeezy/internal/faas"
+	"squeezy/internal/guestos"
+	"squeezy/internal/hostmem"
+	"squeezy/internal/sim"
+	"squeezy/internal/vmm"
+)
+
+// World is the pooled simulation state one worker hands to each cell
+// it executes. Construction of a simulation world — scheduler event
+// arenas, buddy ord spans, population bitmaps, cluster node structs —
+// is a significant share of a sweep cell's cost, and none of it needs
+// to be rebuilt from scratch: the World resets the previous cell's
+// storage instead.
+//
+// Cells obtain their stack through the World (Scheduler, Kernel,
+// Runtime, Cluster) rather than the packages' constructors; everything
+// built this way draws from the worker's arena cache and is released
+// back to it when the cell ends. The reset invariants of the
+// underlying layers (sim.Scheduler.Reset, buddy.Allocator.Reset,
+// mem.Zone.Reset, cluster.Cluster.Reset, ...) guarantee a cell runs
+// identically on a pooled world and on a fresh one, so worker count
+// and cell interleaving never leak into results.
+//
+// A World is owned by exactly one goroutine; it is not safe for
+// concurrent use.
+type World struct {
+	sched *sim.Scheduler
+	rec   *guestos.Recycler
+
+	kernels  []*guestos.Kernel
+	runtimes []*faas.Runtime
+	cluster  *cluster.Cluster
+
+	vmSpare []*vmm.VM // retired VMs, reset on reuse
+	vmInUse []*vmm.VM // this cell's VMs, retired at cell end
+}
+
+// newWorld returns a fresh world, ready for its first cell.
+func newWorld() *World {
+	return &World{sched: sim.NewScheduler(), rec: guestos.NewRecycler()}
+}
+
+// begin prepares the world for the next cell: the scheduler restarts
+// at virtual time zero with its arenas kept.
+func (w *World) begin() { w.sched.Reset() }
+
+// endCell releases the finished cell's kernels back into the worker's
+// arena cache so the next cell reuses their storage.
+func (w *World) endCell() {
+	for i, k := range w.kernels {
+		k.Release()
+		w.kernels[i] = nil
+	}
+	w.kernels = w.kernels[:0]
+	for i, rt := range w.runtimes {
+		rt.Release()
+		w.runtimes[i] = nil
+	}
+	w.runtimes = w.runtimes[:0]
+	if w.cluster != nil {
+		w.cluster.Release()
+	}
+	w.vmSpare = append(w.vmSpare, w.vmInUse...)
+	clear(w.vmInUse)
+	w.vmInUse = w.vmInUse[:0]
+}
+
+// VM returns a virtual machine on the world's scheduler: a retired VM
+// reset in place (its cpu pools, exit counters, and accounting
+// restored to boot state) when one is spare, else a fresh one. It is
+// retired automatically when the cell ends.
+func (w *World) VM(name string, cost *costmodel.Model, host *hostmem.Host, vcpus float64) *vmm.VM {
+	var vm *vmm.VM
+	if n := len(w.vmSpare); n > 0 {
+		vm = w.vmSpare[n-1]
+		w.vmSpare = w.vmSpare[:n-1]
+		vm.Reset(name, cost, host, vcpus)
+	} else {
+		vm = vmm.New(name, w.sched, cost, host, vcpus)
+	}
+	w.vmInUse = append(w.vmInUse, vm)
+	return vm
+}
+
+// Scheduler returns the cell's scheduler, already reset to virtual
+// time zero.
+func (w *World) Scheduler() *sim.Scheduler { return w.sched }
+
+// Kernel builds a guest kernel from the world's arena cache and tracks
+// it for release when the cell ends.
+func (w *World) Kernel(vm *vmm.VM, cfg guestos.Config) *guestos.Kernel {
+	cfg.Recycle = w.rec
+	k := guestos.NewKernel(vm, cfg)
+	w.kernels = append(w.kernels, k)
+	return k
+}
+
+// Runtime builds a FaaS runtime on the world's scheduler whose VMs'
+// guest kernels draw from the arena cache; the kernels are released
+// when the cell ends.
+func (w *World) Runtime(host *hostmem.Host, cost *costmodel.Model) *faas.Runtime {
+	rt := faas.NewRuntime(w.sched, host, cost)
+	rt.Recycle = w.rec
+	w.runtimes = append(w.runtimes, rt)
+	return rt
+}
+
+// Cluster returns a fleet of the requested shape on the world's
+// scheduler: the worker's cached cluster reset in place when one
+// exists, else a fresh one. The previous fleet's guest kernels are
+// harvested into the arena cache as part of the reset.
+func (w *World) Cluster(cost *costmodel.Model, cfg cluster.Config, policy cluster.Policy) *cluster.Cluster {
+	if w.cluster == nil {
+		c := cluster.New(w.sched, cost, cfg, policy)
+		c.Recycle = w.rec
+		w.cluster = c
+	}
+	// Reset even on first use: New built the node runtimes before the
+	// recycler was attached, and a reset wires them to it.
+	w.cluster.Reset(cost, cfg, policy)
+	return w.cluster
+}

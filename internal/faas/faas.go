@@ -178,6 +178,11 @@ type VMConfig struct {
 	// HarvestBufferBytes is the slack buffer cap for the Harvest
 	// backend.
 	HarvestBufferBytes int64
+	// Recycle, when non-nil, supplies recycled arena storage for the
+	// VM's guest kernel (Runtime.AddVM injects the runtime's recycler
+	// when this is unset). Release the kernel with FuncVM.Release once
+	// the VM is dead.
+	Recycle *guestos.Recycler
 }
 
 // sizes derives the block-aligned memory geometry of a VM with this
@@ -300,6 +305,7 @@ func NewFuncVM(sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model, 
 			BootBytes:           bootBytes,
 			MovableBytes:        0,
 			KernelResidentBytes: cfg.Fn.GuestOSBytes,
+			Recycle:             cfg.Recycle,
 		})
 		fv.sq = core.NewManager(fv.K, core.Config{
 			PartitionBytes: instBytes,
@@ -315,6 +321,7 @@ func NewFuncVM(sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model, 
 			BootBytes:           bootBytes,
 			MovableBytes:        movable,
 			KernelResidentBytes: cfg.Fn.GuestOSBytes,
+			Recycle:             cfg.Recycle,
 		})
 		if cfg.Kind == Static {
 			fv.K.OnlineAllMovable()
@@ -330,6 +337,11 @@ func NewFuncVM(sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model, 
 	}
 	return fv
 }
+
+// Release retires the VM's guest-kernel arenas into the recycler it
+// was configured with (no-op otherwise). The VM must be dead: nothing
+// may touch its kernel afterwards.
+func (fv *FuncVM) Release() { fv.K.Release() }
 
 // InstanceBytes returns the block-aligned per-instance memory size.
 func (fv *FuncVM) InstanceBytes() int64 { return fv.instBytes }

@@ -2,6 +2,7 @@ package faas
 
 import (
 	"squeezy/internal/costmodel"
+	"squeezy/internal/guestos"
 	"squeezy/internal/hostmem"
 	"squeezy/internal/sim"
 	"squeezy/internal/units"
@@ -22,6 +23,11 @@ type Runtime struct {
 	// deficit; HarvestVM's proactive reclamation uses >1 to reclaim
 	// ahead of demand (§6.2.2).
 	ProactiveFactor float64
+
+	// Recycle, when non-nil, is injected into every AddVM so the guest
+	// kernels of this runtime's VMs build from (and, via Release,
+	// return to) a shared arena cache.
+	Recycle *guestos.Recycler
 
 	reclaimInFlight int64         // pages expected from in-flight evictions
 	reclaimRecs     []*reclaimRec // outstanding evictions, oldest first
@@ -50,9 +56,21 @@ func NewRuntime(sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model)
 
 // AddVM boots a FuncVM and registers it with the runtime.
 func (r *Runtime) AddVM(cfg VMConfig) *FuncVM {
+	if cfg.Recycle == nil {
+		cfg.Recycle = r.Recycle
+	}
 	fv := NewFuncVM(r.Sched, r.Host, r.Cost, r.Broker, cfg)
 	r.VMs = append(r.VMs, fv)
 	return fv
+}
+
+// Release retires every VM's guest-kernel arenas into the runtime's
+// recycler (no-op without one). Call it only when the simulation is
+// over: the runtime and its VMs must not be used afterwards.
+func (r *Runtime) Release() {
+	for _, fv := range r.VMs {
+		fv.Release()
+	}
 }
 
 // handlePressure frees host memory for queued scale-ups: drain harvest

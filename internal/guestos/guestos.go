@@ -118,6 +118,90 @@ type Kernel struct {
 	files    map[string]*CachedFile
 
 	populated bitset // per-PFN: guest page backed by a host frame
+
+	recycle *Recycler // nil unless the kernel was built through one
+}
+
+// Recycler caches the flat storage a guest kernel allocates — zone
+// structs with their buddy ord spans and region counters, the
+// populated bitmap's word array, and the per-block reverse-map buckets
+// — so a worker simulating many worlds in sequence reuses one arena
+// set instead of reconstructing it per run. Pass it via Config.Recycle
+// and hand a dead kernel's storage back with Kernel.Release.
+//
+// Reused storage is always reset to its freshly-constructed state
+// before it is handed out, so a kernel built from recycled arenas
+// behaves identically to one built from fresh ones. A Recycler is not
+// safe for concurrent use: each worker owns its own.
+type Recycler struct {
+	zones *mem.Pool
+	words [][]uint64
+	rmaps []map[*Chunk]struct{}
+}
+
+// NewRecycler returns an empty recycler.
+func NewRecycler() *Recycler { return &Recycler{zones: mem.NewPool()} }
+
+// zone hands out a pooled (or fresh) zone. A nil recycler constructs
+// fresh zones.
+func (r *Recycler) zone(name string, kind mem.ZoneKind, start mem.PFN, npages int64) *mem.Zone {
+	if r == nil {
+		return mem.NewZone(name, kind, start, npages)
+	}
+	return r.zones.Zone(name, kind, start, npages)
+}
+
+// takeWords hands out a recycled bitmap backing (length zero — the
+// bitset appends explicit zero words, so stale content is harmless).
+func (r *Recycler) takeWords() []uint64 {
+	if r == nil || len(r.words) == 0 {
+		return nil
+	}
+	w := r.words[len(r.words)-1]
+	r.words = r.words[:len(r.words)-1]
+	return w[:0]
+}
+
+// takeRmap hands out a cleared reverse-map bucket. Retired buckets are
+// cleared here, on reuse, not at Release time: a released kernel whose
+// buckets are never needed again (the last cell of a worker's run)
+// then pays nothing for them.
+func (r *Recycler) takeRmap() map[*Chunk]struct{} {
+	if r == nil || len(r.rmaps) == 0 {
+		return make(map[*Chunk]struct{})
+	}
+	m := r.rmaps[len(r.rmaps)-1]
+	r.rmaps = r.rmaps[:len(r.rmaps)-1]
+	clear(m)
+	return m
+}
+
+// Release retires the kernel's arena storage into the recycler it was
+// built with (a no-op for kernels built without one). The kernel must
+// not be used afterwards: its zones, bitmap, and reverse map now
+// belong to the recycler and will back future kernels.
+func (k *Kernel) Release() {
+	r := k.recycle
+	if r == nil {
+		return
+	}
+	for _, z := range k.zones {
+		r.zones.Retire(z)
+	}
+	k.zones = nil
+	k.Normal, k.Movable, k.SharedZone = nil, nil, nil
+	if k.populated.words != nil {
+		r.words = append(r.words, k.populated.words)
+		k.populated.words = nil
+	}
+	for i, m := range k.chunksIn {
+		if m != nil {
+			r.rmaps = append(r.rmaps, m) // cleared lazily by takeRmap
+			k.chunksIn[i] = nil
+		}
+	}
+	k.chunksIn = nil
+	k.recycle = nil
 }
 
 // Config sizes a guest kernel.
@@ -132,6 +216,10 @@ type Config struct {
 	// KernelResidentBytes is the boot footprint of the guest kernel and
 	// agent, allocated from Normal and populated in the host.
 	KernelResidentBytes int64
+	// Recycle, when non-nil, supplies recycled arena storage (zone
+	// structs, buddy ord spans, bitmap words, reverse-map buckets)
+	// harvested from kernels a previous simulation released.
+	Recycle *Recycler
 }
 
 // NewKernel boots a guest kernel inside vm. The VM must have enough
@@ -150,7 +238,9 @@ func NewKernel(vm *vmm.VM, cfg Config) *Kernel {
 		procs:   make(map[int]*Process),
 		files:   make(map[string]*CachedFile),
 		nextPID: 1,
+		recycle: cfg.Recycle,
 	}
+	k.populated.words = cfg.Recycle.takeWords()
 	k.Normal = k.addZone("Normal", mem.ZoneNormal, bootBytes)
 	for i := 0; i < k.Normal.Blocks(); i++ {
 		k.Normal.OnlineBlock(i)
@@ -175,7 +265,7 @@ func NewKernel(vm *vmm.VM, cfg Config) *Kernel {
 // address space.
 func (k *Kernel) addZone(name string, kind mem.ZoneKind, bytes int64) *mem.Zone {
 	pages := units.BytesToPages(units.AlignUp(bytes, units.BlockSize))
-	z := mem.NewZone(name, kind, k.nextPFN, pages)
+	z := k.recycle.zone(name, kind, k.nextPFN, pages)
 	k.nextPFN += pages
 	k.zones = append(k.zones, z)
 	k.populated.grow(k.nextPFN)
@@ -190,7 +280,7 @@ func (k *Kernel) addOwner(c *Chunk) {
 	b := c.PFN / units.PagesPerBlock
 	m := k.chunksIn[b]
 	if m == nil {
-		m = make(map[*Chunk]struct{})
+		m = k.recycle.takeRmap()
 		k.chunksIn[b] = m
 	}
 	m[c] = struct{}{}

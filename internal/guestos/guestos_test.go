@@ -462,3 +462,90 @@ func TestMarkPopulatedBulkCounting(t *testing.T) {
 		t.Fatalf("clearRange = %d, want 1500", released)
 	}
 }
+
+// TestRecycledKernelReplaysIdentically is the reset-vs-fresh guard for
+// the kernel arena recycler: a kernel built from arenas harvested off
+// a released (and differently shaped) kernel must place every chunk at
+// the same PFN as a kernel built from fresh storage.
+func TestRecycledKernelReplaysIdentically(t *testing.T) {
+	program := func(k *Kernel) []mem.PFN {
+		k.OnlineAllMovable()
+		var log []mem.PFN
+		rng := rand.New(rand.NewPCG(5, 17))
+		procs := []*Process{k.Spawn("a"), k.Spawn("b"), k.Spawn("c")}
+		f := k.File("dep", 0)
+		for i := 0; i < 60; i++ {
+			p := procs[i%len(procs)]
+			switch i % 5 {
+			case 0, 1:
+				k.TouchAnon(p, 4*units.MiB, HugeOrder)
+			case 2:
+				k.TouchFile(p, f, 2*units.MiB)
+			case 3:
+				k.FreeAnonRandom(p, 2*units.MiB, rng)
+			case 4:
+				for _, c := range p.anonChunks {
+					log = append(log, c.PFN)
+				}
+			}
+		}
+		for _, c := range k.ChunksInRange(0, k.Movable.Start()+k.Movable.Pages()) {
+			log = append(log, c.PFN, mem.PFN(c.Order))
+		}
+		if err := k.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	build := func(rec *Recycler) *Kernel {
+		s := sim.NewScheduler()
+		vm := vmm.New("vm", s, costmodel.Default(), hostmem.New(0), 4)
+		return NewKernel(vm, Config{
+			BootBytes:           units.BlockSize,
+			MovableBytes:        4 * units.BlockSize,
+			KernelResidentBytes: 16 * units.MiB,
+			Recycle:             rec,
+		})
+	}
+	want := program(build(nil))
+
+	rec := NewRecycler()
+	// Dirty the recycler with a differently shaped kernel's arenas.
+	s := sim.NewScheduler()
+	vm := vmm.New("dirty", s, costmodel.Default(), hostmem.New(0), 4)
+	dirty := NewKernel(vm, Config{
+		BootBytes:           2 * units.BlockSize,
+		MovableBytes:        8 * units.BlockSize,
+		KernelResidentBytes: 64 * units.MiB,
+		Recycle:             rec,
+	})
+	dirty.OnlineAllMovable()
+	p := dirty.Spawn("hog")
+	dirty.TouchAnon(p, 512*units.MiB, HugeOrder)
+	dirty.Release()
+
+	got := program(build(rec))
+	if len(got) != len(want) {
+		t.Fatalf("logs differ in length: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("placement diverged at %d: recycled %d, fresh %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestReleaseIdempotent double-releases a kernel; the second call must
+// be a no-op rather than double-retiring arenas.
+func TestReleaseIdempotent(t *testing.T) {
+	rec := NewRecycler()
+	s := sim.NewScheduler()
+	vm := vmm.New("vm", s, costmodel.Default(), hostmem.New(0), 4)
+	k := NewKernel(vm, Config{BootBytes: units.BlockSize, Recycle: rec})
+	k.Release()
+	before := len(rec.words)
+	k.Release()
+	if len(rec.words) != before {
+		t.Fatal("second Release retired the bitmap again")
+	}
+}

@@ -238,3 +238,59 @@ func TestZoneChurnProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestZoneResetEquivalence runs the same allocation program on a fresh
+// zone and on a pooled zone reset from a different identity, and
+// requires identical chunk placement.
+func TestZoneResetEquivalence(t *testing.T) {
+	program := func(z *Zone) []PFN {
+		for i := 0; i < z.Blocks(); i++ {
+			z.OnlineBlock(i)
+		}
+		var log []PFN
+		rng := rand.New(rand.NewPCG(3, 9))
+		for i := 0; i < 500; i++ {
+			if pfn, ok := z.AllocPage(rng.IntN(10)); ok {
+				log = append(log, pfn)
+			} else {
+				log = append(log, -1)
+			}
+		}
+		return log
+	}
+	fresh := NewZone("a", ZoneMovable, units.PagesPerBlock, 4*units.PagesPerBlock)
+	want := program(fresh)
+
+	pool := NewPool()
+	dirty := pool.Zone("b", ZoneSqueezyPrivate, 0, 8*units.PagesPerBlock)
+	for i := 0; i < dirty.Blocks(); i++ {
+		dirty.OnlineBlock(i)
+	}
+	for i := 0; i < 100; i++ {
+		dirty.AllocPage(i % 9)
+	}
+	pool.Retire(dirty)
+	reused := pool.Zone("a", ZoneMovable, units.PagesPerBlock, 4*units.PagesPerBlock)
+	if reused != dirty {
+		t.Fatal("pool did not hand back the retired zone")
+	}
+	got := program(reused)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("allocation %d: reset zone %d, fresh %d", i, got[i], want[i])
+		}
+	}
+	if err := reused.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNilPoolConstructsFresh checks the opt-out path.
+func TestNilPoolConstructsFresh(t *testing.T) {
+	var p *Pool
+	z := p.Zone("x", ZoneNormal, 0, units.PagesPerBlock)
+	if z == nil || z.Pages() != units.PagesPerBlock {
+		t.Fatal("nil pool did not construct a fresh zone")
+	}
+	p.Retire(z) // must not panic
+}

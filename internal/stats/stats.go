@@ -39,6 +39,16 @@ func (s *Sample) Add(v float64) {
 	s.sum += v
 }
 
+// Reset empties the sample while keeping its buffers, so a pooled
+// metrics struct can be reused across simulation runs.
+func (s *Sample) Reset() {
+	s.xs = s.xs[:0]
+	s.nsorted = 0
+	s.sum = 0
+	s.min = 0
+	s.max = 0
+}
+
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
 
@@ -173,6 +183,12 @@ type TimeSeries struct {
 	Name   string
 	Times  []float64 // seconds
 	Values []float64
+}
+
+// Reset empties the series while keeping its buffers.
+func (ts *TimeSeries) Reset() {
+	ts.Times = ts.Times[:0]
+	ts.Values = ts.Values[:0]
 }
 
 // Reserve grows the series' capacity to hold at least n points, so a

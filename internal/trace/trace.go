@@ -100,18 +100,27 @@ func expDur(rng *rand.Rand, mean sim.Duration) sim.Duration {
 func GenTopTen(seed uint64, duration sim.Duration) []*Trace {
 	traces := make([]*Trace, 10)
 	for i := range traces {
-		// Popularity decays across the top-10 ranks; the busiest
-		// functions see hundreds of requests per second in bursts.
-		rank := float64(i + 1)
-		traces[i] = GenBursty(seed+uint64(i)*101, BurstyConfig{
-			Duration: duration,
-			BaseRPS:  12 / rank,
-			BurstRPS: 220 / rank,
-			BurstLen: 25 * sim.Second,
-			BurstGap: 70 * sim.Second,
-		})
+		traces[i] = TopTenTrace(seed, duration, i)
 	}
 	return traces
+}
+
+// TopTenTrace synthesizes the trace of the function at rank i (0-based)
+// of the top-10 set alone — identical to GenTopTen(seed, duration)[i],
+// without generating the other nine. Sweeps that process the top-10
+// functions as independent cells use it to keep each cell's cost
+// proportional to its own trace.
+func TopTenTrace(seed uint64, duration sim.Duration, i int) *Trace {
+	// Popularity decays across the top-10 ranks; the busiest
+	// functions see hundreds of requests per second in bursts.
+	rank := float64(i + 1)
+	return GenBursty(seed+uint64(i)*101, BurstyConfig{
+		Duration: duration,
+		BaseRPS:  12 / rank,
+		BurstRPS: 220 / rank,
+		BurstLen: 25 * sim.Second,
+		BurstGap: 70 * sim.Second,
+	})
 }
 
 // FleetConfig parameterizes the fleet generator: many functions whose
