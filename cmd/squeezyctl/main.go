@@ -17,13 +17,19 @@
 //	-seed N      base seed (default 1); trial t runs under a
 //	             splitmix-derived TrialSeed(seed, t)
 //	-trials N    run each experiment N times under derived seeds
-//	-parallel N  worker-pool size (default GOMAXPROCS); output is
-//	             byte-identical to -parallel 1
+//	-parallel N  worker-pool size; output is byte-identical to
+//	             -parallel 1. 0 (the default) uses GOMAXPROCS capped by
+//	             the -maxworldmem budget
+//	-maxworldmem B  memory budget for -parallel 0 worker sizing (e.g.
+//	             4GiB, 512MiB, or bytes); default: the host's available
+//	             memory; 0 disables the cap
 //	-format F    text, json, or csv
 //	-o FILE      write output to FILE instead of stdout
 //	-cellstats   print per-cell wall-clock timings to stderr after the
-//	             run (cells are the executor's scheduling unit; the
-//	             slowest cell bounds the parallel wall clock)
+//	             run (cells are the executor's scheduling unit; sharded
+//	             fleet cells additionally break down into per-shard
+//	             walls, whose slowest shard bounds the parallel wall
+//	             clock)
 //	-cpuprofile FILE  write a pprof CPU profile of the run to FILE
 //	-memprofile FILE  write a pprof heap profile at exit to FILE
 package main
@@ -37,16 +43,42 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"squeezy/internal/experiments"
 )
 
+// cellFloor is a cell's contribution to the batch's parallel
+// wall-clock floor. A plain cell contributes its whole wall. A sharded
+// cell's shard advances parallelize, but its dispatcher step — routing
+// between epochs — stays serial, so the critical-path bound is the
+// serial remainder (wall minus all shard work) plus the slowest shard.
+func cellFloor(s experiments.CellStat) time.Duration {
+	if len(s.ShardWalls) == 0 {
+		return s.Wall
+	}
+	var slowest, sum time.Duration
+	for _, sw := range s.ShardWalls {
+		sum += sw
+		if sw > slowest {
+			slowest = sw
+		}
+	}
+	floor := s.Wall - sum + slowest
+	if floor < slowest {
+		floor = slowest
+	}
+	return floor
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	seed := flag.Uint64("seed", 1, "deterministic base seed")
 	trials := flag.Int("trials", 1, "trials per experiment (derived seeds)")
-	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, capped by -maxworldmem)")
+	maxWorldMem := flag.String("maxworldmem", "", "memory budget for -parallel 0 worker sizing, e.g. 4GiB (default: available memory; 0 = no cap)")
 	format := flag.String("format", "text", "output format: text, json, or csv")
 	outPath := flag.String("o", "", "write output to this file instead of stdout")
 	cellStats := flag.Bool("cellstats", false, "print per-cell wall-clock timings to stderr")
@@ -149,8 +181,18 @@ func main() {
 		cpuFile = f
 	}
 
+	workers := *parallel
+	if workers <= 0 {
+		budget, perr := parseMemBudget(*maxWorldMem)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "squeezyctl:", perr)
+			os.Exit(2)
+		}
+		workers = experiments.AutoWorkers(budget)
+	}
+
 	opts := experiments.Options{Seed: *seed, Quick: *quick}
-	reports, stats, err := experiments.RunWithCellStats(names, opts, *trials, *parallel)
+	reports, stats, err := experiments.RunWithCellStats(names, opts, *trials, workers)
 	if *cellStats && err == nil {
 		printCellStats(os.Stderr, stats)
 	}
@@ -207,9 +249,41 @@ func main() {
 	}
 }
 
+// parseMemBudget parses a -maxworldmem value: a byte count with an
+// optional KiB/MiB/GiB suffix. "" means detect (-1), "0" disables the
+// cap.
+func parseMemBudget(s string) (int64, error) {
+	if s == "" {
+		return -1, nil
+	}
+	mult := int64(1)
+	num := s
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30}} {
+		if strings.HasSuffix(s, u.suffix) {
+			mult = u.mult
+			num = strings.TrimSuffix(s, u.suffix)
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(num), 10, 64)
+	// Reject overflow rather than wrapping: a wrapped negative budget
+	// would silently mean "auto-detect", discarding the user's value.
+	if err != nil || n < 0 || (mult > 1 && n > (1<<63-1)/mult) {
+		return 0, fmt.Errorf("bad -maxworldmem %q (want e.g. 4GiB, 512MiB, or bytes)", s)
+	}
+	return n * mult, nil
+}
+
 // printCellStats writes the per-cell wall-clock table to w (stderr):
-// slowest cells first, then per-experiment totals. Timings go to
-// stderr only, so -o result files stay byte-identical across runs.
+// slowest cells first, then per-experiment totals. Sharded fleet cells
+// get a per-shard breakdown line: with idle workers stealing shard
+// advances, the cell's critical path is its slowest shard, and the
+// batch's parallel floor is the slowest shard of the slowest cell.
+// Timings go to stderr only, so -o result files stay byte-identical
+// across runs.
 func printCellStats(w io.Writer, stats []experiments.CellStat) {
 	sorted := make([]experiments.CellStat, len(stats))
 	copy(sorted, stats)
@@ -227,14 +301,29 @@ func printCellStats(w io.Writer, stats []experiments.CellStat) {
 	fmt.Fprintf(w, "cells: %d, summed cell wall time %v (== cpu time only if workers <= cores)\n",
 		len(stats), total.Round(time.Millisecond))
 	if len(sorted) > 0 {
-		// On a non-oversubscribed run the slowest cell is the parallel
-		// wall-clock floor: no worker count can finish the batch faster.
-		fmt.Fprintf(w, "slowest cell: %v (parallel wall-clock floor when workers <= cores)\n",
-			sorted[0].Wall.Round(time.Millisecond))
+		// On a non-oversubscribed run the slowest undecomposable unit is
+		// the parallel wall-clock floor: a plain cell contributes its
+		// wall, a sharded cell only its slowest shard (its other shards
+		// advance on other workers).
+		floor := time.Duration(0)
+		for _, s := range stats {
+			if f := cellFloor(s); f > floor {
+				floor = f
+			}
+		}
+		fmt.Fprintf(w, "slowest cell: %v, parallel floor (serial dispatch + slowest shard of the worst cell): %v when workers <= cores\n",
+			sorted[0].Wall.Round(time.Millisecond), floor.Round(time.Millisecond))
 	}
 	fmt.Fprintf(w, "%-20s %-8s %-32s %s\n", "experiment", "trial", "cell", "wall")
 	for _, s := range sorted {
 		fmt.Fprintf(w, "%-20s %-8d %-32s %v\n", s.Experiment, s.Trial, s.Label, s.Wall.Round(time.Millisecond))
+		if len(s.ShardWalls) > 0 {
+			fmt.Fprintf(w, "%-20s %-8s   shards:", "", "")
+			for i, sw := range s.ShardWalls {
+				fmt.Fprintf(w, " %d=%v", i, sw.Round(time.Millisecond))
+			}
+			fmt.Fprintln(w)
+		}
 	}
 	exps := make([]string, 0, len(perExp))
 	for e := range perExp {

@@ -1,0 +1,12 @@
+// Package balloon models the virtio-balloon driver, the state-of-
+// practice VM memory reclamation interface (Waldspurger, OSDI'02;
+// Schopp et al., OLS'06).
+//
+// Inflation reserves free guest pages and reports them to the
+// hypervisor one page at a time; every report is a VM exit, which is
+// why ballooning's reclamation cost explodes with size (≈81% of its
+// latency is exit handling, Figure 5) and why it is ≈2.34x slower than
+// virtio-mem. The guest keeps the reserved pages allocated (they are
+// simply unusable), so ballooning does not shrink the guest's memory
+// map — deflation just frees them back.
+package balloon

@@ -1,27 +1,11 @@
-// Package cluster scales the single-host simulation out to a fleet: N
-// simulated hosts — each with its own hostmem.Host, faas.Runtime,
-// reclamation backend, and memory broker — advance under one
-// sim.Scheduler, fronted by a dispatcher that routes invocations and
-// places cold scale-ups through a pluggable Policy.
-//
-// The split mirrors real FaaS-on-hypervisor stacks (a cluster-facing
-// gateway over per-host runtimes): host-local mechanisms decide *how*
-// memory is reclaimed, the cluster policy decides *which* host pays
-// plug latency — and, under memory pressure, whose backend pays the
-// unplug latency the paper measures. That interaction is exactly what
-// the cluster-* experiments sweep.
-//
-// Determinism: the dispatcher holds no RNG, iterates hosts in slice
-// order, and breaks every tie by host ID, so a fleet run is a pure
-// function of its traces and seed like every other layer.
 package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"squeezy/internal/costmodel"
 	"squeezy/internal/faas"
-	"squeezy/internal/guestos"
 	"squeezy/internal/hostmem"
 	"squeezy/internal/sim"
 	"squeezy/internal/stats"
@@ -30,7 +14,7 @@ import (
 )
 
 // Config sizes a fleet. The zero value of optional fields selects
-// sensible defaults (see New).
+// sensible defaults (see NewSharded).
 type Config struct {
 	// Hosts is the number of simulated hosts.
 	Hosts int
@@ -52,13 +36,30 @@ type Config struct {
 	HarvestBufferInstances int
 }
 
-// Node is one simulated host: a private memory pool and runtime, plus
-// the per-function VMs the dispatcher has placed on it.
+// Node is one simulated host: a private scheduler, memory pool, and
+// runtime, plus the per-function VMs the dispatcher has placed on it.
+// Between dispatcher epochs a node's simulation is fully independent
+// of every other node's, which is what lets shard workers advance
+// disjoint node sets in parallel.
 type Node struct {
 	ID      int
 	Backend faas.BackendKind
-	Host    *hostmem.Host
-	RT      *faas.Runtime
+	// Sched is the host's private event scheduler. All of the host's
+	// simulation state (runtime, broker, VMs, kernels) lives on it;
+	// the dispatcher only touches it at epoch boundaries, when the
+	// host is paused at the boundary time.
+	Sched *sim.Scheduler
+	Host  *hostmem.Host
+	RT    *faas.Runtime
+	// Rec is the host's private recycler: kernels, vmm.VMs, and FuncVM
+	// shells released by a finished run back this host's next run.
+	// Per-host arenas keep shard workers from ever sharing pool state.
+	Rec *faas.Recycler
+	// M accumulates the host's completion-side metrics. Completion
+	// callbacks run while shard workers advance the host, so they must
+	// write host-local state only; the fleet view is merged from the
+	// per-host metrics in host-ID order (Stats).
+	M NodeMetrics
 
 	vms     map[string]*faas.FuncVM
 	vmOrder []*faas.FuncVM // creation order, for deterministic iteration
@@ -84,8 +85,37 @@ func (n *Node) VM(fnName string) *faas.FuncVM { return n.vms[fnName] }
 // VMs returns the host's VMs in creation order.
 func (n *Node) VMs() []*faas.FuncVM { return n.vmOrder }
 
+// NodeMetrics is one host's completion-side accounting. Latency
+// samples are in milliseconds.
+type NodeMetrics struct {
+	ColdStarts int
+	WarmStarts int
+	Dropped    int
+
+	ColdLatMs *stats.Sample
+	WarmLatMs *stats.Sample
+	MemWaitMs *stats.Sample
+}
+
+func newNodeMetrics() NodeMetrics {
+	return NodeMetrics{
+		ColdLatMs: &stats.Sample{}, WarmLatMs: &stats.Sample{}, MemWaitMs: &stats.Sample{},
+	}
+}
+
+func (m *NodeMetrics) reset() {
+	m.ColdStarts, m.WarmStarts, m.Dropped = 0, 0, 0
+	m.ColdLatMs.Reset()
+	m.WarmLatMs.Reset()
+	m.MemWaitMs.Reset()
+}
+
 // Metrics aggregates fleet-wide outcomes. Latency samples are in
-// milliseconds.
+// milliseconds. The dispatcher-side counters (Invocations,
+// AdmissionDrops) and the memory series are written directly by the
+// serial dispatcher; the completion-side fields are merged from the
+// per-host NodeMetrics by Stats, in host-ID order, so the aggregate is
+// identical at every shard count.
 type Metrics struct {
 	Invocations int
 	ColdStarts  int
@@ -103,26 +133,48 @@ type Metrics struct {
 	MemWaitMs *stats.Sample
 
 	// Committed and Populated are fleet-wide memory time series in GiB,
-	// fed by SampleMemory.
+	// fed by SampleMemory at dispatcher epochs.
 	Committed stats.TimeSeries
 	Populated stats.TimeSeries
 }
 
-// Cluster is a fleet of hosts behind one dispatcher.
-type Cluster struct {
-	Sched  *sim.Scheduler
+// ShardedCluster is a fleet of hosts behind one dispatcher, executed
+// as per-host sub-simulations: every host runs on its own scheduler,
+// and the epoch engine (shard.go) advances all hosts in lockstep to
+// each dispatcher boundary — an invocation to route or a fleet-wide
+// memory sample — merging the hosts back into one deterministic
+// timeline at every boundary.
+//
+// Hosts interact only through the dispatcher: warm routing, scale-up
+// placement, and admission decisions all read host state while every
+// host is paused at the boundary time, and all host-side consequences
+// (grants, boots, reclaim pressure) play out host-locally between
+// boundaries. The dispatcher holds no RNG, iterates hosts in slice
+// order, and breaks every tie by host ID, so a fleet run is a pure
+// function of its traces and seed — at any shard count, on any worker
+// pool, byte-identical to the serial single-shard run.
+type ShardedCluster struct {
 	Cost   *costmodel.Model
 	Cfg    Config
 	Policy Policy
 	Nodes  []*Node
 
-	// Recycle, when non-nil, backs every host runtime's guest kernels
-	// with a shared arena cache; Reset harvests the previous fleet's
-	// kernels into it before rebuilding, so consecutive sweeps reuse
-	// one set of buddy ord spans and bitmaps.
-	Recycle *guestos.Recycler
+	// Exec, when non-nil, runs a batch of shard-advance tasks —
+	// possibly in parallel — and returns when all have completed. The
+	// tasks touch disjoint hosts, so any execution order (or true
+	// concurrency) yields identical results. nil runs them serially.
+	Exec func(tasks []func())
 
 	Metrics Metrics
+
+	now sim.Time // dispatcher clock: the current epoch boundary
+
+	// Epoch-engine state (shard.go).
+	shardNodes [][]*Node
+	shardTasks []func()
+	drainTasks []func()
+	shardWalls []time.Duration // wall-clock per shard since prepare
+	epochT     sim.Time        // advance target shared by the shard tasks
 }
 
 // withDefaults fills the zero-valued optional fields.
@@ -148,11 +200,12 @@ func (cfg Config) withDefaults() Config {
 	return cfg
 }
 
-// New builds a fleet of cfg.Hosts identical hosts under sched, with
-// placement delegated to policy.
-func New(sched *sim.Scheduler, cost *costmodel.Model, cfg Config, policy Policy) *Cluster {
-	c := &Cluster{
-		Sched: sched, Cost: cost, Cfg: cfg.withDefaults(), Policy: policy,
+// NewSharded builds a fleet of cfg.Hosts identical hosts, each on its
+// own scheduler with its own recycler, with placement delegated to
+// policy.
+func NewSharded(cost *costmodel.Model, cfg Config, policy Policy) *ShardedCluster {
+	c := &ShardedCluster{
+		Cost: cost, Cfg: cfg.withDefaults(), Policy: policy,
 		Metrics: Metrics{
 			ColdLatMs: &stats.Sample{}, WarmLatMs: &stats.Sample{}, MemWaitMs: &stats.Sample{},
 		},
@@ -164,30 +217,33 @@ func New(sched *sim.Scheduler, cost *costmodel.Model, cfg Config, policy Policy)
 }
 
 // newNode builds one host under the cluster's current config.
-func (c *Cluster) newNode(id int) *Node {
+func (c *ShardedCluster) newNode(id int) *Node {
+	sched := sim.NewScheduler()
 	host := hostmem.New(c.Cfg.HostMemBytes)
-	rt := faas.NewRuntime(c.Sched, host, c.Cost)
+	rec := faas.NewRecycler()
+	rt := faas.NewRuntime(sched, host, c.Cost)
 	rt.ProactiveFactor = c.Cfg.ProactiveFactor
-	rt.Recycle = c.Recycle
+	rt.Recycle = rec
 	return &Node{
-		ID: id, Backend: c.Cfg.Backend, Host: host, RT: rt,
+		ID: id, Backend: c.Cfg.Backend, Sched: sched, Host: host, RT: rt, Rec: rec,
+		M:   newNodeMetrics(),
 		vms: make(map[string]*faas.FuncVM),
 	}
 }
 
 // Reset rebuilds the cluster for a new run under a (possibly
 // different) config and policy, reusing the fleet's storage: node
-// structs and their VM maps stay, each host pool is reset in place,
-// the previous run's guest kernels are harvested into the recycler,
-// and the metrics buffers are emptied rather than reallocated. The
-// scheduler must already be reset to the time the new run starts from.
-// A reset cluster replays a run identically to a freshly constructed
-// one.
-func (c *Cluster) Reset(cost *costmodel.Model, cfg Config, policy Policy) {
+// structs with their schedulers, recyclers, VM maps, and metric
+// buffers stay, each host pool is reset in place, and the previous
+// run's guest kernels, vmm.VMs, and agent shells are harvested into
+// the per-host recyclers. A reset cluster replays a run identically
+// to a freshly constructed one.
+func (c *ShardedCluster) Reset(cost *costmodel.Model, cfg Config, policy Policy) {
 	c.Release()
 	c.Cost = cost
 	c.Cfg = cfg.withDefaults()
 	c.Policy = policy
+	c.now = 0
 	if len(c.Nodes) > c.Cfg.Hosts {
 		clear(c.Nodes[c.Cfg.Hosts:])
 		c.Nodes = c.Nodes[:c.Cfg.Hosts]
@@ -195,11 +251,13 @@ func (c *Cluster) Reset(cost *costmodel.Model, cfg Config, policy Policy) {
 	for i, n := range c.Nodes {
 		n.ID = i
 		n.Backend = c.Cfg.Backend
+		n.Sched.Reset()
 		n.Host.Reset(c.Cfg.HostMemBytes)
-		rt := faas.NewRuntime(c.Sched, n.Host, cost)
+		rt := faas.NewRuntime(n.Sched, n.Host, cost)
 		rt.ProactiveFactor = c.Cfg.ProactiveFactor
-		rt.Recycle = c.Recycle
+		rt.Recycle = n.Rec
 		n.RT = rt
+		n.M.reset()
 		clear(n.vms)
 		clear(n.vmOrder) // drop stale *FuncVM pointers
 		n.vmOrder = n.vmOrder[:0]
@@ -207,6 +265,7 @@ func (c *Cluster) Reset(cost *costmodel.Model, cfg Config, policy Policy) {
 	for len(c.Nodes) < c.Cfg.Hosts {
 		c.Nodes = append(c.Nodes, c.newNode(len(c.Nodes)))
 	}
+	c.shardNodes, c.shardTasks, c.drainTasks = nil, nil, nil
 	m := &c.Metrics
 	m.Invocations, m.ColdStarts, m.WarmStarts, m.Dropped, m.AdmissionDrops = 0, 0, 0, 0, 0
 	m.ColdLatMs.Reset()
@@ -216,17 +275,18 @@ func (c *Cluster) Reset(cost *costmodel.Model, cfg Config, policy Policy) {
 	m.Populated.Reset()
 }
 
-// Release harvests every node's guest kernels into the recycler
-// (no-op without one). The fleet's VMs must not be used afterwards;
-// Reset calls it before rebuilding.
-func (c *Cluster) Release() {
-	if c.Recycle == nil {
-		return
-	}
+// Release harvests every node's guest kernels, vmm.VMs, and FuncVM
+// shells into its per-host recycler. The fleet's VMs must not be used
+// afterwards; Reset calls it before rebuilding.
+func (c *ShardedCluster) Release() {
 	for _, n := range c.Nodes {
 		n.RT.Release()
 	}
 }
+
+// Now returns the dispatcher clock: the epoch boundary the fleet last
+// advanced to.
+func (c *ShardedCluster) Now() sim.Time { return c.now }
 
 // Invoke routes one invocation of fn through the dispatcher, in three
 // tiers: (1) a host with a warm idle instance serves it immediately;
@@ -235,7 +295,12 @@ func (c *Cluster) Release() {
 // for a function whose VM has room just burns boot memory); (3) only
 // when every existing VM is saturated does the policy pick across the
 // whole fleet, booting a new VM if needed. onDone may be nil.
-func (c *Cluster) Invoke(fn *workload.Function, onDone func(faas.Result)) {
+//
+// Invoke must be called at an epoch boundary: every host paused at the
+// dispatcher clock (AdvanceTo/Drain establish this). The routing
+// decision reads fleet-wide state; the routed request's consequences
+// are host-local events that play out when the hosts advance again.
+func (c *ShardedCluster) Invoke(fn *workload.Function, onDone func(faas.Result)) {
 	c.Metrics.Invocations++
 	target := c.warmNode(fn)
 	if target == nil {
@@ -245,21 +310,20 @@ func (c *Cluster) Invoke(fn *workload.Function, onDone func(faas.Result)) {
 			target = c.Policy.Pick(c.Nodes, fn)
 		}
 	}
-	fv := c.vmOn(target, fn)
+	serving, fv := target, c.vmOn(target, fn)
 	if fv == nil {
-		fv = c.fallbackVM(fn)
+		serving, fv = c.fallbackVM(fn)
 	}
 	if fv == nil {
 		// No host can even boot a VM for fn: admission-drop rather than
 		// panic the host model with an unbackable boot.
 		c.Metrics.AdmissionDrops++
 		if onDone != nil {
-			now := c.Sched.Now()
-			onDone(faas.Result{Fn: fn, Arrival: now, Done: now, Dropped: true})
+			onDone(faas.Result{Fn: fn, Arrival: c.now, Done: c.now, Dropped: true})
 		}
 		return
 	}
-	fv.Invoke(fn, c.record(onDone))
+	fv.Invoke(fn, record(&serving.M, onDone))
 }
 
 // warmNode returns the host that should serve fn warm — the one with
@@ -267,7 +331,7 @@ func (c *Cluster) Invoke(fn *workload.Function, onDone func(faas.Result)) {
 // ties to the lowest ID — or nil when no host has one. Warm routing is
 // policy-independent on purpose: policies compete on cold placement,
 // not on rediscovering instance affinity.
-func (c *Cluster) warmNode(fn *workload.Function) *Node {
+func (c *ShardedCluster) warmNode(fn *workload.Function) *Node {
 	var best *Node
 	bestIdle := 0
 	for _, n := range c.Nodes {
@@ -284,7 +348,7 @@ func (c *Cluster) warmNode(fn *workload.Function) *Node {
 
 // nodesWithSlack returns hosts whose existing VM for fn has spare
 // concurrency, in host order.
-func (c *Cluster) nodesWithSlack(fn *workload.Function) []*Node {
+func (c *ShardedCluster) nodesWithSlack(fn *workload.Function) []*Node {
 	var out []*Node
 	for _, n := range c.Nodes {
 		if fv := n.vms[fn.Name]; fv != nil && fv.LiveInstances() < c.Cfg.N {
@@ -296,7 +360,7 @@ func (c *Cluster) nodesWithSlack(fn *workload.Function) []*Node {
 
 // vmOn returns the host's VM for fn, booting one if the host can back
 // its boot footprint. It returns nil when the host is too full to boot.
-func (c *Cluster) vmOn(n *Node, fn *workload.Function) *faas.FuncVM {
+func (c *ShardedCluster) vmOn(n *Node, fn *workload.Function) *faas.FuncVM {
 	if fv := n.vms[fn.Name]; fv != nil {
 		return fv
 	}
@@ -322,20 +386,21 @@ func (c *Cluster) vmOn(n *Node, fn *workload.Function) *faas.FuncVM {
 
 // fallbackVM handles a policy pick that cannot boot fn's VM: queue on
 // the least-backlogged host that already runs fn, else boot on the host
-// with the most free memory that can. Returns nil when the whole fleet
+// with the most free memory that can. Returns nils when the whole fleet
 // is too full.
-func (c *Cluster) fallbackVM(fn *workload.Function) *faas.FuncVM {
+func (c *ShardedCluster) fallbackVM(fn *workload.Function) (*Node, *faas.FuncVM) {
 	var existing *faas.FuncVM
+	var existingNode *Node
 	bestQueue := 0
 	for _, n := range c.Nodes {
 		if fv := n.vms[fn.Name]; fv != nil {
 			if existing == nil || fv.QueueLen() < bestQueue {
-				existing, bestQueue = fv, fv.QueueLen()
+				existing, existingNode, bestQueue = fv, n, fv.QueueLen()
 			}
 		}
 	}
 	if existing != nil {
-		return existing
+		return existingNode, existing
 	}
 	var roomiest *Node
 	for _, n := range c.Nodes {
@@ -343,22 +408,25 @@ func (c *Cluster) fallbackVM(fn *workload.Function) *faas.FuncVM {
 			roomiest = n
 		}
 	}
-	return c.vmOn(roomiest, fn)
+	return roomiest, c.vmOn(roomiest, fn)
 }
 
-// record wraps a caller's completion callback with metrics accounting.
-func (c *Cluster) record(onDone func(faas.Result)) func(faas.Result) {
+// record wraps a caller's completion callback with host-local metrics
+// accounting. The callback fires on the serving host's scheduler —
+// possibly while a shard worker advances that host — so it must only
+// touch that host's NodeMetrics, never fleet-wide state.
+func record(m *NodeMetrics, onDone func(faas.Result)) func(faas.Result) {
 	return func(res faas.Result) {
 		switch {
 		case res.Dropped:
-			c.Metrics.Dropped++
+			m.Dropped++
 		case res.Cold:
-			c.Metrics.ColdStarts++
-			c.Metrics.ColdLatMs.Add(res.Latency.Milliseconds())
-			c.Metrics.MemWaitMs.Add(res.Phases.MemWait.Milliseconds())
+			m.ColdStarts++
+			m.ColdLatMs.Add(res.Latency.Milliseconds())
+			m.MemWaitMs.Add(res.Phases.MemWait.Milliseconds())
 		default:
-			c.Metrics.WarmStarts++
-			c.Metrics.WarmLatMs.Add(res.Latency.Milliseconds())
+			m.WarmStarts++
+			m.WarmLatMs.Add(res.Latency.Milliseconds())
 		}
 		if onDone != nil {
 			onDone(res)
@@ -366,41 +434,46 @@ func (c *Cluster) record(onDone func(faas.Result)) func(faas.Result) {
 	}
 }
 
+// Stats merges the per-host metrics into the fleet-wide Metrics view
+// and returns it. Completion counters and latency samples are merged
+// in host-ID order; percentiles depend only on the combined multiset,
+// so the merged view is identical at every shard count. Call it after
+// the run (or after any Drain) — merging while hosts are advancing
+// would race the completion callbacks.
+func (c *ShardedCluster) Stats() *Metrics {
+	m := &c.Metrics
+	m.ColdStarts, m.WarmStarts, m.Dropped = 0, 0, 0
+	m.ColdLatMs.Reset()
+	m.WarmLatMs.Reset()
+	m.MemWaitMs.Reset()
+	for _, n := range c.Nodes {
+		m.ColdStarts += n.M.ColdStarts
+		m.WarmStarts += n.M.WarmStarts
+		m.Dropped += n.M.Dropped
+		m.ColdLatMs.Merge(n.M.ColdLatMs)
+		m.WarmLatMs.Merge(n.M.WarmLatMs)
+		m.MemWaitMs.Merge(n.M.MemWaitMs)
+	}
+	return m
+}
+
 // SampleMemory appends one fleet-wide committed/populated point (GiB)
-// at the current virtual time.
-func (c *Cluster) SampleMemory() {
+// at the dispatcher clock. Call at an epoch boundary only.
+func (c *ShardedCluster) SampleMemory() {
 	var committed, populated int64
 	for _, n := range c.Nodes {
 		committed += n.Host.CommittedPages()
 		populated += n.Host.PopulatedPages()
 	}
-	t := c.Sched.Now().Seconds()
+	t := c.now.Seconds()
 	c.Metrics.Committed.Append(t, float64(units.PagesToBytes(committed))/float64(units.GiB))
 	c.Metrics.Populated.Append(t, float64(units.PagesToBytes(populated))/float64(units.GiB))
-}
-
-// StartMemoryTicker samples fleet memory every interval until the given
-// virtual time. The series buffers are pre-sized for the full window.
-func (c *Cluster) StartMemoryTicker(every sim.Duration, until sim.Time) {
-	if every > 0 {
-		points := int(until.Sub(c.Sched.Now())/every) + 2
-		c.Metrics.Committed.Reserve(points)
-		c.Metrics.Populated.Reserve(points)
-	}
-	var tick func()
-	tick = func() {
-		c.SampleMemory()
-		if c.Sched.Now() < until {
-			c.Sched.After(every, tick)
-		}
-	}
-	c.Sched.At(c.Sched.Now(), tick)
 }
 
 // MemoryEfficiency returns the time-averaged fraction of committed host
 // memory the guests actually use (populated/committed over the sampled
 // window) — the fleet-scale version of Figure 1's idle-memory gap.
-func (c *Cluster) MemoryEfficiency() float64 {
+func (c *ShardedCluster) MemoryEfficiency() float64 {
 	ci := c.Metrics.Committed.Integral()
 	if ci <= 0 {
 		return 0
@@ -410,10 +483,10 @@ func (c *Cluster) MemoryEfficiency() float64 {
 
 // CommittedGiBs returns the fleet's committed-memory time integral
 // (GiB·s), the cost metric of Figure 10 at fleet scale.
-func (c *Cluster) CommittedGiBs() float64 { return c.Metrics.Committed.Integral() }
+func (c *ShardedCluster) CommittedGiBs() float64 { return c.Metrics.Committed.Integral() }
 
 // Evictions sums instance evictions across the fleet.
-func (c *Cluster) Evictions() int {
+func (c *ShardedCluster) Evictions() int {
 	total := 0
 	for _, n := range c.Nodes {
 		for _, fv := range n.vmOrder {
@@ -423,8 +496,19 @@ func (c *Cluster) Evictions() int {
 	return total
 }
 
+// Fired sums fired events across every host scheduler — the per-host
+// analogue of a shared scheduler's Fired count, used by determinism
+// tests to pin down the exact event schedule.
+func (c *ShardedCluster) Fired() uint64 {
+	var total uint64
+	for _, n := range c.Nodes {
+		total += n.Sched.Fired()
+	}
+	return total
+}
+
 // VMCount returns the number of VMs booted across the fleet.
-func (c *Cluster) VMCount() int {
+func (c *ShardedCluster) VMCount() int {
 	total := 0
 	for _, n := range c.Nodes {
 		total += len(n.vmOrder)

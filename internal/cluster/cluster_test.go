@@ -6,36 +6,37 @@ import (
 
 	"squeezy/internal/costmodel"
 	"squeezy/internal/faas"
-	"squeezy/internal/guestos"
 	"squeezy/internal/sim"
 	"squeezy/internal/trace"
 	"squeezy/internal/units"
 	"squeezy/internal/workload"
 )
 
-func newTestCluster(hosts int, hostMem int64, kind faas.BackendKind, policy string) *Cluster {
-	sched := sim.NewScheduler()
+func newTestCluster(hosts int, hostMem int64, kind faas.BackendKind, policy string) *ShardedCluster {
 	cost := costmodel.Default()
-	return New(sched, cost, Config{
+	return NewSharded(cost, Config{
 		Hosts: hosts, HostMemBytes: hostMem, Backend: kind, N: 4,
 		KeepAlive: 30 * sim.Second,
 	}, NewPolicy(policy, cost))
 }
 
+// drainFor runs every host d further and parks the dispatcher there.
+func drainFor(c *ShardedCluster, d sim.Duration) { c.Drain(c.Now().Add(d)) }
+
 func TestWarmAffinityReusesInstance(t *testing.T) {
 	c := newTestCluster(2, 0, faas.Squeezy, "round-robin")
 	fn := workload.ByName("HTML")
 	c.Invoke(fn, nil)
-	c.Sched.RunFor(20 * sim.Second)
-	if c.Metrics.ColdStarts != 1 {
-		t.Fatalf("cold starts = %d, want 1", c.Metrics.ColdStarts)
+	drainFor(c, 20*sim.Second)
+	if c.Stats().ColdStarts != 1 {
+		t.Fatalf("cold starts = %d, want 1", c.Stats().ColdStarts)
 	}
 	// Round-robin would pick host 1 next, but the idle instance on
 	// host 0 must win.
 	c.Invoke(fn, nil)
-	c.Sched.RunFor(20 * sim.Second)
-	if c.Metrics.WarmStarts != 1 {
-		t.Fatalf("warm starts = %d, want 1", c.Metrics.WarmStarts)
+	drainFor(c, 20*sim.Second)
+	if c.Stats().WarmStarts != 1 {
+		t.Fatalf("warm starts = %d, want 1", c.Stats().WarmStarts)
 	}
 	if c.VMCount() != 1 {
 		t.Fatalf("VM count = %d, want 1 (warm routing must not boot a second VM)", c.VMCount())
@@ -47,7 +48,7 @@ func TestRoundRobinSpreadsColdPlacements(t *testing.T) {
 	for _, fn := range workload.Fleet(3) {
 		c.Invoke(fn, nil)
 	}
-	c.Sched.RunFor(20 * sim.Second)
+	drainFor(c, 20*sim.Second)
 	for i, n := range c.Nodes {
 		if len(n.VMs()) != 1 {
 			t.Fatalf("host %d has %d VMs, want 1 each under round-robin", i, len(n.VMs()))
@@ -62,9 +63,9 @@ func TestLeastLoadedBalancesInstances(t *testing.T) {
 	// with fewer live instances, alternating hosts.
 	for _, fn := range fns {
 		c.Invoke(fn, nil)
-		c.Sched.RunFor(sim.Second)
+		drainFor(c, sim.Second)
 	}
-	c.Sched.RunFor(20 * sim.Second)
+	drainFor(c, 20*sim.Second)
 	a, b := c.Nodes[0].LiveInstances(), c.Nodes[1].LiveInstances()
 	if a != b {
 		t.Fatalf("instance imbalance %d vs %d under least-loaded", a, b)
@@ -81,7 +82,7 @@ func TestHeadroomAvoidsFullHost(t *testing.T) {
 	for _, fn := range workload.Fleet(3) {
 		c.Invoke(fn, nil)
 	}
-	c.Sched.RunFor(20 * sim.Second)
+	drainFor(c, 20*sim.Second)
 	if got := len(c.Nodes[0].VMs()); got != 0 {
 		t.Fatalf("headroom booted %d VMs on the full host", got)
 	}
@@ -95,7 +96,7 @@ func TestAdmissionDropWhenFleetFull(t *testing.T) {
 	c := newTestCluster(2, 256*units.MiB, faas.VirtioMem, "headroom")
 	dropped := false
 	c.Invoke(workload.ByName("HTML"), func(res faas.Result) { dropped = res.Dropped })
-	c.Sched.RunFor(sim.Second)
+	drainFor(c, sim.Second)
 	if !dropped || c.Metrics.AdmissionDrops != 1 {
 		t.Fatalf("dropped=%v admissionDrops=%d, want drop", dropped, c.Metrics.AdmissionDrops)
 	}
@@ -127,7 +128,7 @@ func TestReclaimAwarePrefersHostWithHeadroom(t *testing.T) {
 	}
 	fn := workload.ByName("BFS")
 	c.Invoke(fn, nil)
-	c.Sched.RunFor(15 * sim.Second)
+	drainFor(c, 15*sim.Second)
 	if c.Nodes[1].VM(fn.Name) == nil {
 		t.Fatal("reclaim-aware placed on the saturated host despite an idle one")
 	}
@@ -156,67 +157,70 @@ func TestReclaimAwarePrefersCheaperBackendUnderDeficit(t *testing.T) {
 	}
 }
 
+// fleetInvs synthesizes a Zipf fleet's merged invocation stream.
+func fleetInvs(seed uint64, funcs int, duration sim.Duration, baseRPS, burstRPS float64) []Invocation {
+	fleet := workload.Fleet(funcs)
+	traces := trace.GenFleet(seed, trace.FleetConfig{
+		Funcs: funcs, Duration: duration,
+		TotalBaseRPS: baseRPS, TotalBurstRPS: burstRPS,
+	})
+	merged := trace.Merge(traces)
+	invs := make([]Invocation, len(merged))
+	for i, inv := range merged {
+		invs[i] = Invocation{T: inv.T, Fn: fleet[inv.Func]}
+	}
+	return invs
+}
+
+// metricsTable flattens the run's outcome into a comparable string.
+func metricsTable(c *ShardedCluster) string {
+	m := c.Stats()
+	return fmt.Sprintf("inv=%d cold=%d warm=%d drop=%d evict=%d p50=%.6f p99=%.6f memwait=%.6f eff=%.6f gibs=%.6f",
+		m.Invocations, m.ColdStarts, m.WarmStarts,
+		m.Dropped+m.AdmissionDrops, c.Evictions(),
+		m.ColdLatMs.P50(), m.ColdLatMs.P99(), m.MemWaitMs.P99(),
+		c.MemoryEfficiency(), c.CommittedGiBs())
+}
+
 // TestFleetDeterminism runs the same small fleet twice and requires
 // identical aggregate metrics — the property every cluster experiment
 // rests on.
 func TestFleetDeterminism(t *testing.T) {
-	run := func() Metrics {
+	run := func() (*Metrics, string) {
 		c := newTestCluster(3, 16*units.GiB, faas.Squeezy, "reclaim-aware")
-		fleet := workload.Fleet(8)
-		traces := trace.GenFleet(42, trace.FleetConfig{
-			Funcs: 8, Duration: 40 * sim.Second,
-			TotalBaseRPS: 4, TotalBurstRPS: 20,
+		c.Play(fleetInvs(42, 8, 40*sim.Second, 4, 20), PlayConfig{
+			TickEvery: sim.Second, TickUntil: sim.Time(40 * sim.Second),
+			DrainUntil: sim.Time(60 * sim.Second),
 		})
-		for _, inv := range trace.Merge(traces) {
-			fn := fleet[inv.Func]
-			c.Sched.At(inv.T, func() { c.Invoke(fn, nil) })
-		}
-		c.StartMemoryTicker(sim.Second, sim.Time(40*sim.Second))
-		c.Sched.RunUntil(sim.Time(60 * sim.Second))
-		return c.Metrics
+		return c.Stats(), metricsTable(c)
 	}
-	a, b := run(), run()
+	a, at := run()
+	b, bt := run()
 	if a.Invocations == 0 || a.ColdStarts == 0 {
 		t.Fatalf("degenerate run: %+v", a)
 	}
-	if a.Invocations != b.Invocations || a.ColdStarts != b.ColdStarts ||
-		a.WarmStarts != b.WarmStarts || a.Dropped != b.Dropped ||
-		a.ColdLatMs.P99() != b.ColdLatMs.P99() ||
-		a.Committed.Integral() != b.Committed.Integral() {
-		t.Fatalf("fleet run not deterministic:\n%+v\n%+v", a, b)
+	if a.Invocations != b.Invocations || at != bt {
+		t.Fatalf("fleet run not deterministic:\n%s\n%s", at, bt)
 	}
 }
 
 // Two identically seeded full fleet runs — separate schedulers, hosts,
 // brokers, the works — must be indistinguishable: the same number of
 // scheduler events fired and byte-identical metric tables. This pins
-// down the determinism contract the pooled/bucketed scheduler and the
-// interval page state must preserve.
+// down the determinism contract the pooled/bucketed scheduler, the
+// interval page state, and the epoch engine must preserve.
 func TestFullRunDeterministicFiredAndTables(t *testing.T) {
 	run := func() (uint64, string) {
-		sched := sim.NewScheduler()
 		cost := costmodel.Default()
-		c := New(sched, cost, Config{
+		c := NewSharded(cost, Config{
 			Hosts: 2, HostMemBytes: 24 * units.GiB, Backend: faas.Squeezy,
 			N: 4, KeepAlive: 20 * sim.Second,
 		}, NewPolicy("reclaim-aware", cost))
-		fleet := workload.Fleet(6)
-		traces := trace.GenFleet(7, trace.FleetConfig{
-			Funcs: 6, Duration: 30 * sim.Second,
-			TotalBaseRPS: 4, TotalBurstRPS: 24,
+		c.Play(fleetInvs(7, 6, 30*sim.Second, 4, 24), PlayConfig{
+			TickEvery: sim.Second, TickUntil: sim.Time(30 * sim.Second),
+			DrainUntil: sim.Time(300 * sim.Second),
 		})
-		for _, inv := range trace.Merge(traces) {
-			fn := fleet[inv.Func]
-			sched.At(inv.T, func() { c.Invoke(fn, nil) })
-		}
-		c.StartMemoryTicker(sim.Second, sim.Time(30*sim.Second))
-		sched.RunUntil(sim.Time(300 * sim.Second))
-		table := fmt.Sprintf("inv=%d cold=%d warm=%d drop=%d evict=%d p50=%.6f p99=%.6f memwait=%.6f eff=%.6f gibs=%.6f",
-			c.Metrics.Invocations, c.Metrics.ColdStarts, c.Metrics.WarmStarts,
-			c.Metrics.Dropped+c.Metrics.AdmissionDrops, c.Evictions(),
-			c.Metrics.ColdLatMs.P50(), c.Metrics.ColdLatMs.P99(), c.Metrics.MemWaitMs.P99(),
-			c.MemoryEfficiency(), c.CommittedGiBs())
-		return sched.Fired(), table
+		return c.Fired(), metricsTable(c)
 	}
 	fired1, table1 := run()
 	fired2, table2 := run()
@@ -234,70 +238,51 @@ func TestFullRunDeterministicFiredAndTables(t *testing.T) {
 // TestResetReplaysIdentically is the reset-vs-fresh guard for the
 // fleet: a cluster reset after an unrelated run (different backend,
 // host count, and policy) must replay a workload with metrics and
-// event counts identical to a freshly constructed cluster's.
+// event counts identical to a freshly constructed cluster's —
+// including the recycled kernels, vmm.VMs, and FuncVM shells the
+// per-host recyclers now hand back.
 func TestResetReplaysIdentically(t *testing.T) {
-	type outcome struct {
-		fired                  uint64
-		cold, warm, vms, evict int
-		coldP99                float64
-	}
-	replay := func(c *Cluster) outcome {
-		fleet := workload.Fleet(8)
-		traces := trace.GenFleet(3, trace.FleetConfig{
-			Funcs: 8, Duration: 30 * sim.Second, TotalBaseRPS: 4, TotalBurstRPS: 24,
+	replay := func(c *ShardedCluster) (uint64, string) {
+		c.Play(fleetInvs(3, 8, 30*sim.Second, 4, 24), PlayConfig{
+			TickEvery: sim.Second, TickUntil: sim.Time(30 * sim.Second),
+			DrainUntil: sim.Time(300 * sim.Second),
 		})
-		for _, inv := range trace.Merge(traces) {
-			fn := fleet[inv.Func]
-			c.Sched.At(inv.T, func() { c.Invoke(fn, nil) })
-		}
-		c.StartMemoryTicker(sim.Second, sim.Time(30*sim.Second))
-		c.Sched.RunUntil(sim.Time(300 * sim.Second))
-		return outcome{
-			fired: c.Sched.Fired(),
-			cold:  c.Metrics.ColdStarts, warm: c.Metrics.WarmStarts,
-			vms: c.VMCount(), evict: c.Evictions(),
-			coldP99: c.Metrics.ColdLatMs.P99(),
-		}
+		return c.Fired(), metricsTable(c)
 	}
 
 	cost := costmodel.Default()
 	cfg := Config{Hosts: 3, HostMemBytes: 24 * units.GiB, Backend: faas.Squeezy, N: 4,
 		KeepAlive: 30 * sim.Second}
 
-	sched := sim.NewScheduler()
-	fresh := New(sched, cost, cfg, NewPolicy("reclaim-aware", cost))
-	want := replay(fresh)
+	fresh := NewSharded(cost, cfg, NewPolicy("reclaim-aware", cost))
+	wantFired, wantTable := replay(fresh)
 
 	// A reused cluster: run a different fleet shape first, then reset.
-	sched2 := sim.NewScheduler()
-	reused := New(sched2, cost, Config{
+	reused := NewSharded(cost, Config{
 		Hosts: 5, HostMemBytes: 16 * units.GiB, Backend: faas.VirtioMem, N: 8,
 	}, NewPolicy("round-robin", cost))
 	replay(reused)
-	sched2.Reset()
 	reused.Reset(cost, cfg, NewPolicy("reclaim-aware", cost))
-	got := replay(reused)
-	if got != want {
-		t.Fatalf("reset cluster replay = %+v, fresh = %+v", got, want)
+	gotFired, gotTable := replay(reused)
+	if gotFired != wantFired || gotTable != wantTable {
+		t.Fatalf("reset cluster replay = (%d, %s), fresh = (%d, %s)",
+			gotFired, gotTable, wantFired, wantTable)
 	}
 }
 
 // TestResetHarvestsKernels verifies Reset hands the previous fleet's
-// guest-kernel arenas to the recycler so the next run can reuse them.
+// guest-kernel arenas to the per-host recyclers so the next run can
+// reuse them.
 func TestResetHarvestsKernels(t *testing.T) {
 	cost := costmodel.Default()
-	sched := sim.NewScheduler()
 	cfg := Config{Hosts: 2, Backend: faas.Squeezy, N: 4, KeepAlive: 10 * sim.Second}
-	c := New(sched, cost, cfg, NewPolicy("round-robin", cost))
-	c.Recycle = guestos.NewRecycler()
-	c.Reset(cost, cfg, NewPolicy("round-robin", cost)) // wire runtimes to the recycler
+	c := NewSharded(cost, cfg, NewPolicy("round-robin", cost))
 	c.Invoke(workload.ByName("HTML"), nil)
-	sched.Run()
+	drainFor(c, sim.Minute)
 	if c.VMCount() == 0 {
 		t.Fatal("no VM booted")
 	}
 	fv := c.Nodes[0].VMs()[0]
-	sched.Reset()
 	c.Reset(cost, cfg, NewPolicy("round-robin", cost))
 	if fv.K.Zones() != nil {
 		t.Fatal("Reset did not release the previous fleet's kernels")

@@ -1,0 +1,40 @@
+// Package cluster scales the single-host simulation out to a fleet —
+// and, since PR 5, executes that fleet as per-host sub-simulations
+// merged deterministically at dispatcher epochs.
+//
+// A ShardedCluster is N simulated hosts, each with its own
+// sim.Scheduler, hostmem.Host, faas.Runtime, reclamation backend,
+// memory broker, and recycler, fronted by a dispatcher that routes
+// invocations and places cold scale-ups through a pluggable Policy.
+// The split mirrors real FaaS-on-hypervisor stacks (a cluster-facing
+// gateway over per-host runtimes): host-local mechanisms decide *how*
+// memory is reclaimed, the cluster policy decides *which* host pays
+// plug latency — and, under memory pressure, whose backend pays the
+// unplug latency the paper measures. That interaction is exactly what
+// the cluster-* experiments sweep.
+//
+// # Execution model
+//
+// Hosts interact only through the dispatcher, and the dispatcher only
+// acts at known times: trace invocations and fleet-wide memory
+// samples. The epoch engine (shard.go) exploits this: it advances
+// every host to the next boundary with sim.Scheduler.RunUntilEpoch
+// (events strictly before the boundary fire, clocks land exactly on
+// it), runs the boundary's dispatcher work serially in canonical
+// order — invocations in trace order, then the memory sample — and
+// repeats. Hosts are partitioned into shards that advance as
+// independent tasks, concurrently when an Exec hook is installed;
+// after the last boundary every host drains to the horizon in
+// parallel. Completion metrics accumulate per host and merge in
+// host-ID order.
+//
+// # Determinism
+//
+// The dispatcher holds no RNG, iterates hosts in slice order, and
+// breaks every tie by host ID; a host's evolution between boundaries
+// is a pure function of its state at the last boundary; and nothing
+// depends on the shard partition or on which worker advanced which
+// host. A fleet run is therefore a pure function of its traces and
+// seed, byte-identical at every shard count — the property
+// TestShardCountInvariance and TestParallelShardsMatchSerial pin down.
+package cluster

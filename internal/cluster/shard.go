@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"squeezy/internal/sim"
+	"squeezy/internal/workload"
+)
+
+// The epoch engine: a fleet run is executed as per-host
+// sub-simulations that rendezvous at every dispatcher boundary.
+//
+// Hosts in a fleet interact only through the dispatcher — warm
+// routing, scale-up placement, admission — and the dispatcher only
+// acts at known times: the invocation timestamps of the trace and the
+// fleet-wide memory-sample ticks. Those times are the epochs. The
+// engine repeats three steps:
+//
+//  1. advance: every host's scheduler runs to the next boundary T with
+//     sim.Scheduler.RunUntilEpoch — all host events strictly before T
+//     fire, host clocks land exactly on T. Hosts are partitioned
+//     across shards; each shard advances its hosts in host-ID order,
+//     and shards run concurrently when an Exec hook is installed
+//     (disjoint hosts, so any interleaving is equivalent).
+//  2. merge: with every host paused at T, the dispatcher fires the
+//     boundary events at T in canonical order — invocations in trace
+//     order first, then the memory sample. Routing reads host state
+//     settled through T-1 plus the synchronous effects of earlier
+//     boundary events at T, identically at every shard count.
+//  3. repeat, until the trace and ticks are exhausted; then every host
+//     drains independently to the horizon.
+//
+// Determinism argument: a host's event stream between boundaries is a
+// pure function of its state at the last boundary (host-local events
+// only, host-local seeds only); the dispatcher step is serial and
+// iterates hosts in ID order; completion metrics accumulate host-
+// locally and merge in host-ID order. Nothing anywhere depends on the
+// shard partition or on which worker advanced which host — so tables
+// are byte-identical at every shard count, and the parallel wall-clock
+// floor of a fleet cell drops from the whole fleet to its slowest
+// host-shard.
+
+// Invocation is one dispatcher boundary event: fn arrives at T.
+type Invocation struct {
+	T  sim.Time
+	Fn *workload.Function
+}
+
+// PlayConfig shapes one epoch-driven fleet run.
+type PlayConfig struct {
+	// Shards is the number of host partitions advanced as independent
+	// tasks; 0 or anything >= Hosts means one shard per host, 1 means
+	// the serial unsharded path. The shard count never changes
+	// results, only how much of the fleet a single task advances.
+	Shards int
+	// TickEvery is the fleet memory-sampling cadence (0 disables);
+	// samples are taken at 0, TickEvery, ... through TickUntil.
+	TickEvery sim.Duration
+	TickUntil sim.Time
+	// DrainUntil is the horizon every host runs to after the last
+	// boundary, so slow requests finish and their latencies count.
+	DrainUntil sim.Time
+}
+
+// Play replays a time-sorted invocation stream through the dispatcher
+// under the epoch protocol described above. It leaves every host at
+// DrainUntil and the merged fleet metrics ready in Stats().
+func (c *ShardedCluster) Play(invs []Invocation, pc PlayConfig) {
+	c.prepareShards(pc.Shards)
+	ticks := pc.TickEvery > 0
+	var nextTick sim.Time
+	i := 0
+	for i < len(invs) || (ticks && nextTick <= pc.TickUntil) {
+		// Next boundary: the earlier of the next invocation and the
+		// next tick.
+		var t sim.Time
+		switch {
+		case i < len(invs) && (!ticks || nextTick > pc.TickUntil || invs[i].T <= nextTick):
+			t = invs[i].T
+		default:
+			t = nextTick
+		}
+		if t < c.now {
+			panic(fmt.Sprintf("cluster: invocation stream not sorted: %d after %d", t, c.now))
+		}
+		c.AdvanceTo(t)
+		// Canonical boundary order: invocations in trace order, then
+		// the memory sample.
+		for i < len(invs) && invs[i].T == t {
+			c.Invoke(invs[i].Fn, nil)
+			i++
+		}
+		if ticks && nextTick == t && t <= pc.TickUntil {
+			c.SampleMemory()
+			nextTick += sim.Time(pc.TickEvery)
+		}
+	}
+	c.Drain(pc.DrainUntil)
+}
+
+// prepareShards partitions the hosts into contiguous shard groups and
+// builds the per-shard advance and drain tasks once; the epoch loop
+// re-runs the same closures against a shared target time, so a run
+// allocates per shard, not per epoch.
+func (c *ShardedCluster) prepareShards(shards int) {
+	if shards <= 0 || shards > len(c.Nodes) {
+		shards = len(c.Nodes)
+	}
+	c.shardNodes = c.shardNodes[:0]
+	for s := 0; s < shards; s++ {
+		lo, hi := s*len(c.Nodes)/shards, (s+1)*len(c.Nodes)/shards
+		c.shardNodes = append(c.shardNodes, c.Nodes[lo:hi])
+	}
+	c.shardTasks = make([]func(), shards)
+	c.drainTasks = make([]func(), shards)
+	c.shardWalls = make([]time.Duration, shards)
+	for s := 0; s < shards; s++ {
+		s := s
+		grp := c.shardNodes[s]
+		c.shardTasks[s] = func() {
+			start := time.Now()
+			for _, n := range grp {
+				n.Sched.RunUntilEpoch(c.epochT)
+			}
+			c.shardWalls[s] += time.Since(start)
+		}
+		c.drainTasks[s] = func() {
+			start := time.Now()
+			for _, n := range grp {
+				n.Sched.RunUntil(c.epochT)
+			}
+			c.shardWalls[s] += time.Since(start)
+		}
+	}
+}
+
+// runTasks executes one barrier round of shard tasks: through the Exec
+// hook when installed, else serially in shard order. Exec must have
+// run every task to completion before returning.
+func (c *ShardedCluster) runTasks(tasks []func()) {
+	if c.Exec != nil && len(tasks) > 1 {
+		c.Exec(tasks)
+		return
+	}
+	for _, t := range tasks {
+		t()
+	}
+}
+
+// AdvanceTo advances every host to the epoch boundary t: all host
+// events strictly before t fire, every host clock — and the dispatcher
+// clock — lands exactly on t. The dispatcher may then route
+// invocations or sample memory against the paused fleet.
+func (c *ShardedCluster) AdvanceTo(t sim.Time) {
+	if c.shardTasks == nil {
+		c.prepareShards(0)
+	}
+	c.epochT = t
+	c.runTasks(c.shardTasks)
+	c.now = t
+}
+
+// Drain runs every host through t inclusive — unlike AdvanceTo, events
+// at exactly t fire too — and sets the dispatcher clock to t. The
+// final drain of a run is one giant epoch: hosts no longer interact,
+// so each shard runs to the horizon independently.
+func (c *ShardedCluster) Drain(t sim.Time) {
+	if c.shardTasks == nil {
+		c.prepareShards(0)
+	}
+	if t < c.now {
+		t = c.now
+	}
+	c.epochT = t
+	c.runTasks(c.drainTasks)
+	c.now = t
+}
+
+// ShardWalls returns the wall-clock time each shard's advance tasks
+// consumed during the runs since the last prepare — the numbers behind
+// `squeezyctl -cellstats`'s per-shard breakdown. With shards advanced
+// in parallel, the slowest entry bounds the cell's critical path.
+func (c *ShardedCluster) ShardWalls() []time.Duration { return c.shardWalls }

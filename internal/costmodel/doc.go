@@ -1,0 +1,20 @@
+// Package costmodel centralizes every latency constant of the
+// simulation, calibrated against the measurements the paper reports on
+// its dual-socket Xeon E5-2630 testbed (§5, §6).
+//
+// Calibration anchors (see EXPERIMENTS.md for the paper-vs-measured
+// table):
+//
+//   - vanilla virtio-mem needs ≈617 ms to reclaim 512 MiB and ≈2.5 s for
+//     2 GiB from a loaded guest; migrations are ≈61.5% of that and
+//     zeroing ≈24% (§6.1.1, Figure 5),
+//   - ballooning is ≈2.34x slower than virtio-mem and ≈81% of its time
+//     is VM-exit handling (Figure 5),
+//   - Squeezy reclaims 2 GiB in ≈127 ms, ≈3 ms of VM-exit cost per
+//     128 MiB chunk (§6.1.1, §8),
+//   - plugging memory for one instance costs 35–45 ms (§6.2.1),
+//   - cold starts on a dynamically resized VM are 3–35% slower than on a
+//     static VM because freshly plugged memory must be nested-faulted in
+//     (§6.2.1),
+//   - booting a 1:1 microVM adds ≈20% to cold-start latency (§6.3).
+package costmodel

@@ -29,6 +29,10 @@ type fleetCfg struct {
 	duration sim.Duration
 	baseRPS  float64 // fleet-aggregate quiet rate
 	burstRPS float64 // fleet-aggregate in-burst rate
+	// shards overrides the host-shard count of the epoch engine; 0
+	// selects one shard per host. Any value produces byte-identical
+	// tables — the knob exists for the determinism tests.
+	shards int
 }
 
 // fleetStats is the measured outcome of one fleet run.
@@ -47,14 +51,15 @@ type fleetStats struct {
 	GiBs       float64
 }
 
-// fleetRun replays a Zipf fleet trace against a cluster and collects
-// fleet-wide latency, churn, and memory-efficiency metrics. The run is
-// a pure function of (seed, fc) — the pooled world only contributes
-// recycled storage.
+// fleetRun replays a Zipf fleet trace against a sharded cluster and
+// collects fleet-wide latency, churn, and memory-efficiency metrics.
+// The run is a pure function of (seed, fc) — the pooled world only
+// contributes recycled storage, and the epoch engine's shard count and
+// worker placement never reach the results (the cluster package's
+// determinism contract).
 func fleetRun(w *World, seed uint64, fc fleetCfg) fleetStats {
-	sched := w.Scheduler()
 	cost := costmodel.Default()
-	c := w.Cluster(cost, cluster.Config{
+	c := w.Fleet(cost, cluster.Config{
 		Hosts:        fc.hosts,
 		HostMemBytes: fc.hostMem,
 		Backend:      fc.backend,
@@ -69,11 +74,11 @@ func fleetRun(w *World, seed uint64, fc fleetCfg) fleetStats {
 		TotalBaseRPS:  fc.baseRPS,
 		TotalBurstRPS: fc.burstRPS,
 	})
-	for _, inv := range trace.Merge(traces) {
-		fn := fleet[inv.Func]
-		sched.At(inv.T, func() { c.Invoke(fn, nil) })
+	merged := trace.Merge(traces)
+	invs := make([]cluster.Invocation, len(merged))
+	for i, inv := range merged {
+		invs[i] = cluster.Invocation{T: inv.T, Fn: fleet[inv.Func]}
 	}
-	c.StartMemoryTicker(sim.Second, sim.Time(fc.duration))
 	// Drain far past the trace end (10x the trace) so slow requests
 	// finish and their latencies are counted — in the pressured regimes
 	// the tail outlives the trace by minutes, and a short cutoff would
@@ -83,9 +88,15 @@ func fleetRun(w *World, seed uint64, fc fleetCfg) fleetStats {
 	// configuration cannot work off its backlog at all (its true tail
 	// is unbounded, not merely long). The memory series still covers
 	// only the trace window.
-	sched.RunUntil(sim.Time(10 * fc.duration))
+	c.Play(invs, cluster.PlayConfig{
+		Shards:     fc.shards,
+		TickEvery:  sim.Second,
+		TickUntil:  sim.Time(fc.duration),
+		DrainUntil: sim.Time(10 * fc.duration),
+	})
+	w.NoteShardWalls(c.ShardWalls())
 
-	m := &c.Metrics
+	m := c.Stats()
 	served := m.ColdStarts + m.WarmStarts + m.Dropped + m.AdmissionDrops
 	return fleetStats{
 		VMs:        c.VMCount(),

@@ -1,18 +1,3 @@
-// Package experiments contains one driver per table and figure of the
-// paper's evaluation (§6). Each driver builds the full stack — host,
-// VMM, guest kernel, reclamation interface, FaaS runtime, workload —
-// runs the paper's protocol in virtual time, and returns the rows or
-// series the paper plots. Every driver takes a seed and is
-// deterministic for a given seed.
-//
-// Drivers self-register into a package-level registry (registry.go)
-// from init(), so the CLI, benchmarks, and determinism tests all
-// enumerate one source of truth; the runner (runner.go) executes
-// registered experiments and multi-seed trials across a worker pool
-// with output byte-identical to a serial run.
-//
-// EXPERIMENTS.md records paper-reported vs measured values for each
-// driver.
 package experiments
 
 import (

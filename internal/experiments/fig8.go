@@ -60,7 +60,10 @@ func Fig8Plan(opts Options) *Plan {
 func fig8Run(w *World, opts Options, kind faas.BackendKind, fi int, fn *workload.Function,
 	duration, keepAlive sim.Duration) Fig8Row {
 
-	tr := trace.GenBursty(opts.seed()+uint64(fi)*31, trace.BurstyConfig{
+	// One well-separated stream per function, shared across backends on
+	// purpose: both methods replay the identical trace, so the speedup
+	// column compares reclamation, not workload luck.
+	tr := trace.GenBursty(SubSeed(opts.seed(), fi), trace.BurstyConfig{
 		Duration: sim.Duration(duration) * 3 / 5,
 		BaseRPS:  0.2,
 		BurstRPS: 4,

@@ -123,14 +123,14 @@ func fig9Run(w *World, kind faas.BackendKind, duration, htmlStop, keepAlive sim.
 
 	// CNN: ramp to ~22 warm rps (≈3.3 busy cores of the 4) so the cold
 	// starts spread out instead of storming the vCPUs at t=0.
-	cnnTimes := rampArrivals(opts.seed()+17, []rampSeg{
+	cnnTimes := rampArrivals(SubSeed(opts.seed(), 0), []rampSeg{
 		{0, 30 * sim.Second, 4},
 		{30 * sim.Second, 60 * sim.Second, 10},
 		{60 * sim.Second, 90 * sim.Second, 16},
 		{90 * sim.Second, duration, 22},
 	})
 	// HTML: load until htmlStop, then silent — its instances idle out.
-	htmlTimes := rampArrivals(opts.seed()+23, []rampSeg{
+	htmlTimes := rampArrivals(SubSeed(opts.seed(), 1), []rampSeg{
 		{0, htmlStop, 4},
 	})
 	for _, ts := range cnnTimes {

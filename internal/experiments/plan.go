@@ -10,11 +10,20 @@ package experiments
 // slots in enumeration order, the encoded output is byte-identical to
 // a serial run at any worker count.
 //
-// Cell seeds: a cell captures its sub-seed in its closure. Drivers
-// that predate the cell plan pin the exact seed expressions their
-// recorded tables were produced with; new drivers should derive
-// per-cell streams with SubSeed(opts.seed(), cellIndex) so adjacent
-// cells get well-separated randomness.
+// Cell seeds: a cell captures its sub-seed in its closure. Every
+// driver derives per-stream randomness with SubSeed(opts.seed(), i) —
+// the single guarded splitmix64 derivation — so adjacent streams are
+// well separated; the pre-PR-5 ad-hoc seed arithmetic (seed+i*31
+// style) is gone, and EXPERIMENTS.md's tables are baselined on the
+// SubSeed streams.
+//
+// Sub-cell shards: a cell is the executor's scheduling unit, but a
+// cell may decompose further at run time by fanning independent tasks
+// through World.Exec — a sharded fleet cell advances each host shard
+// as one such task, with the executor's idle workers picking them up.
+// Shard tasks never touch the World's own pools, only state the cell
+// handed them, and must be order-independent so serial and pooled
+// execution agree byte-for-byte.
 
 // Cell is one independently runnable simulation unit: a label for
 // per-cell timing (-cellstats), and a closure that runs the simulation

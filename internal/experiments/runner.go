@@ -75,6 +75,12 @@ type CellStat struct {
 	Trial      int
 	Label      string
 	Wall       time.Duration
+	// ShardWalls is the per-shard wall-clock breakdown of a cell that
+	// decomposed into sub-cell shards (a sharded fleet run): entry i is
+	// the time shard i's advance tasks consumed, wherever they ran.
+	// With enough idle workers the cell's critical path is its slowest
+	// shard, not Wall.
+	ShardWalls []time.Duration
 }
 
 // Run executes each named experiment for the given number of trials on
@@ -99,6 +105,20 @@ type planRun struct {
 type cellUnit struct {
 	pr   *planRun
 	cell Cell
+}
+
+// subGroup tracks one World.Exec batch of sub-cell tasks; left is
+// guarded by the executor mutex.
+type subGroup struct {
+	left int
+}
+
+// subUnit is one schedulable sub-cell task (a shard advance of a
+// sharded fleet cell). Sub-tasks never need a World: they operate on
+// state owned by the cell that published them.
+type subUnit struct {
+	run func()
+	g   *subGroup
 }
 
 // RunWithCellStats is Run plus the per-cell wall-clock timings of the
@@ -149,7 +169,9 @@ func RunWithCellStats(names []string, opts Options, trials, workers int) ([]Repo
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			x.work(newWorld())
+			w := newWorld()
+			w.par = x.par
+			x.work(w)
 		}()
 	}
 	wg.Wait()
@@ -157,14 +179,69 @@ func RunWithCellStats(names []string, opts Options, trials, workers int) ([]Repo
 }
 
 // executor is the shared scheduling state of one RunWithCellStats
-// call: a FIFO of runnable cells plus per-report stage bookkeeping.
-// All fields are guarded by mu; cell simulations run outside the lock.
+// call: a FIFO of runnable cells, a LIFO of sub-cell tasks published
+// by running cells (sharded fleet advances), and per-report stage
+// bookkeeping. All fields are guarded by mu; simulations run outside
+// the lock.
+//
+// Sub-tasks always outrank cells: a worker with both available picks
+// the sub-task, because a published sub-task is on some running cell's
+// critical path while a queued cell is not on anyone's yet.
 type executor struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queue   []cellUnit
+	subq    []subUnit
 	pending int // reports not yet assembled
 	stats   []CellStat
+}
+
+// par is World.Exec's pooled implementation: publish the batch on the
+// sub-task queue, then help until the whole batch has completed. The
+// helping loop makes the scheme deadlock-free at any worker count —
+// the publishing worker can always run its own tasks — and lets idle
+// workers (and workers blocked in their own par) steal shard advances,
+// which is what drops a fleet cell's critical path to its slowest
+// shard. Tasks may be executed in any order by any worker; callers
+// guarantee order-independence.
+func (x *executor) par(tasks []func()) {
+	if len(tasks) <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	g := &subGroup{left: len(tasks)}
+	x.mu.Lock()
+	for _, t := range tasks {
+		x.subq = append(x.subq, subUnit{run: t, g: g})
+	}
+	x.cond.Broadcast()
+	for g.left > 0 {
+		if n := len(x.subq); n > 0 {
+			u := x.subq[n-1] // LIFO: newest batch first, likely our own
+			x.subq[n-1] = subUnit{}
+			x.subq = x.subq[:n-1]
+			x.mu.Unlock()
+			u.run()
+			x.mu.Lock()
+			x.finishSub(u)
+			continue
+		}
+		// Our remaining tasks are running on other workers; wait for
+		// their completion broadcasts.
+		x.cond.Wait()
+	}
+	x.mu.Unlock()
+}
+
+// finishSub retires one executed sub-task under the lock, waking its
+// publisher when the batch drains.
+func (x *executor) finishSub(u subUnit) {
+	u.g.left--
+	if u.g.left == 0 {
+		x.cond.Broadcast()
+	}
 }
 
 // advance schedules pr's current stage, walking the Then chain past
@@ -203,14 +280,26 @@ func (x *executor) advance(pr *planRun) {
 	x.mu.Unlock()
 }
 
-// work is one worker's loop: pop a cell, simulate it on the pooled
-// world, and on the stage's last cell advance the report to its next
-// stage (or assemble it).
+// work is one worker's loop: run a published sub-task when one is
+// available (it is on a running cell's critical path), else pop a
+// cell, simulate it on the pooled world, and on the stage's last cell
+// advance the report to its next stage (or assemble it).
 func (x *executor) work(w *World) {
 	for {
 		x.mu.Lock()
-		for len(x.queue) == 0 && x.pending > 0 {
+		for len(x.subq) == 0 && len(x.queue) == 0 && x.pending > 0 {
 			x.cond.Wait()
+		}
+		if n := len(x.subq); n > 0 {
+			u := x.subq[n-1]
+			x.subq[n-1] = subUnit{}
+			x.subq = x.subq[:n-1]
+			x.mu.Unlock()
+			u.run()
+			x.mu.Lock()
+			x.finishSub(u)
+			x.mu.Unlock()
+			continue
 		}
 		if len(x.queue) == 0 {
 			x.mu.Unlock()
@@ -224,6 +313,8 @@ func (x *executor) work(w *World) {
 		start := time.Now()
 		u.cell.Run(w)
 		wall := time.Since(start)
+		shardWalls := w.shardWalls
+		w.shardWalls = nil
 		w.endCell()
 
 		x.mu.Lock()
@@ -232,6 +323,7 @@ func (x *executor) work(w *World) {
 			Trial:      u.pr.report.Trial,
 			Label:      u.cell.Label,
 			Wall:       wall,
+			ShardWalls: shardWalls,
 		})
 		u.pr.left--
 		last := u.pr.left == 0

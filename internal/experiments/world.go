@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"time"
+
 	"squeezy/internal/cluster"
 	"squeezy/internal/costmodel"
 	"squeezy/internal/faas"
@@ -12,45 +14,60 @@ import (
 
 // World is the pooled simulation state one worker hands to each cell
 // it executes. Construction of a simulation world — scheduler event
-// arenas, buddy ord spans, population bitmaps, cluster node structs —
-// is a significant share of a sweep cell's cost, and none of it needs
-// to be rebuilt from scratch: the World resets the previous cell's
-// storage instead.
+// arenas, buddy ord spans, population bitmaps, cluster node structs,
+// FuncVM shells and their inner VMs — is a significant share of a
+// sweep cell's cost, and none of it needs to be rebuilt from scratch:
+// the World resets the previous cell's storage instead.
 //
 // Cells obtain their stack through the World (Scheduler, Kernel,
-// Runtime, Cluster) rather than the packages' constructors; everything
-// built this way draws from the worker's arena cache and is released
-// back to it when the cell ends. The reset invariants of the
+// Runtime, VM, Fleet) rather than the packages' constructors;
+// everything built this way draws from the worker's pools and is
+// released back when the cell ends. The reset invariants of the
 // underlying layers (sim.Scheduler.Reset, buddy.Allocator.Reset,
-// mem.Zone.Reset, cluster.Cluster.Reset, ...) guarantee a cell runs
-// identically on a pooled world and on a fresh one, so worker count
-// and cell interleaving never leak into results.
+// mem.Zone.Reset, vmm.VM.Reset, cluster.ShardedCluster.Reset, ...)
+// guarantee a cell runs identically on a pooled world and on a fresh
+// one, so worker count and cell interleaving never leak into results.
 //
-// A World is owned by exactly one goroutine; it is not safe for
-// concurrent use.
+// A World is owned by exactly one goroutine. Sharded fleet cells are
+// still single-owner: the shard tasks a cell fans out through Exec
+// touch the fleet's per-host state (each host with its own scheduler
+// and recycler), never the World's own pools.
 type World struct {
 	sched *sim.Scheduler
-	rec   *guestos.Recycler
+	rec   *faas.Recycler
 
 	kernels  []*guestos.Kernel
 	runtimes []*faas.Runtime
-	cluster  *cluster.Cluster
+	fleet    *cluster.ShardedCluster
 
-	vmSpare []*vmm.VM // retired VMs, reset on reuse
-	vmInUse []*vmm.VM // this cell's VMs, retired at cell end
+	vmInUse []*vmm.VM // this cell's kernel-direct VMs, retired at cell end
+
+	// par, when non-nil, runs a batch of independent sub-cell tasks on
+	// the executor's worker pool (runner.go installs it); nil runs
+	// them serially. Exec exposes it to cells.
+	par func(tasks []func())
+
+	// shardWalls is the per-shard wall-clock breakdown the current
+	// cell reported via NoteShardWalls, if any; the executor drains it
+	// into the cell's CellStat.
+	shardWalls []time.Duration
 }
 
 // newWorld returns a fresh world, ready for its first cell.
 func newWorld() *World {
-	return &World{sched: sim.NewScheduler(), rec: guestos.NewRecycler()}
+	return &World{sched: sim.NewScheduler(), rec: faas.NewRecycler()}
 }
 
 // begin prepares the world for the next cell: the scheduler restarts
-// at virtual time zero with its arenas kept.
-func (w *World) begin() { w.sched.Reset() }
+// at virtual time zero with its arenas kept, and any per-cell
+// reporting state clears.
+func (w *World) begin() {
+	w.sched.Reset()
+	w.shardWalls = nil
+}
 
-// endCell releases the finished cell's kernels back into the worker's
-// arena cache so the next cell reuses their storage.
+// endCell releases the finished cell's kernels and VMs back into the
+// worker's pools so the next cell reuses their storage.
 func (w *World) endCell() {
 	for i, k := range w.kernels {
 		k.Release()
@@ -62,11 +79,13 @@ func (w *World) endCell() {
 		w.runtimes[i] = nil
 	}
 	w.runtimes = w.runtimes[:0]
-	if w.cluster != nil {
-		w.cluster.Release()
+	if w.fleet != nil {
+		w.fleet.Release()
 	}
-	w.vmSpare = append(w.vmSpare, w.vmInUse...)
-	clear(w.vmInUse)
+	for i, vm := range w.vmInUse {
+		w.rec.ReleaseVM(vm)
+		w.vmInUse[i] = nil
+	}
 	w.vmInUse = w.vmInUse[:0]
 }
 
@@ -75,14 +94,7 @@ func (w *World) endCell() {
 // restored to boot state) when one is spare, else a fresh one. It is
 // retired automatically when the cell ends.
 func (w *World) VM(name string, cost *costmodel.Model, host *hostmem.Host, vcpus float64) *vmm.VM {
-	var vm *vmm.VM
-	if n := len(w.vmSpare); n > 0 {
-		vm = w.vmSpare[n-1]
-		w.vmSpare = w.vmSpare[:n-1]
-		vm.Reset(name, cost, host, vcpus)
-	} else {
-		vm = vmm.New(name, w.sched, cost, host, vcpus)
-	}
+	vm := w.rec.AcquireVM(name, w.sched, cost, host, vcpus)
 	w.vmInUse = append(w.vmInUse, vm)
 	return vm
 }
@@ -94,15 +106,15 @@ func (w *World) Scheduler() *sim.Scheduler { return w.sched }
 // Kernel builds a guest kernel from the world's arena cache and tracks
 // it for release when the cell ends.
 func (w *World) Kernel(vm *vmm.VM, cfg guestos.Config) *guestos.Kernel {
-	cfg.Recycle = w.rec
+	cfg.Recycle = w.rec.Kernels
 	k := guestos.NewKernel(vm, cfg)
 	w.kernels = append(w.kernels, k)
 	return k
 }
 
-// Runtime builds a FaaS runtime on the world's scheduler whose VMs'
-// guest kernels draw from the arena cache; the kernels are released
-// when the cell ends.
+// Runtime builds a FaaS runtime on the world's scheduler whose VMs —
+// guest kernels, inner vmm.VMs, and agent shells — draw from the
+// worker's pool; everything is released when the cell ends.
 func (w *World) Runtime(host *hostmem.Host, cost *costmodel.Model) *faas.Runtime {
 	rt := faas.NewRuntime(w.sched, host, cost)
 	rt.Recycle = w.rec
@@ -110,18 +122,40 @@ func (w *World) Runtime(host *hostmem.Host, cost *costmodel.Model) *faas.Runtime
 	return rt
 }
 
-// Cluster returns a fleet of the requested shape on the world's
-// scheduler: the worker's cached cluster reset in place when one
-// exists, else a fresh one. The previous fleet's guest kernels are
-// harvested into the arena cache as part of the reset.
-func (w *World) Cluster(cost *costmodel.Model, cfg cluster.Config, policy cluster.Policy) *cluster.Cluster {
-	if w.cluster == nil {
-		c := cluster.New(w.sched, cost, cfg, policy)
-		c.Recycle = w.rec
-		w.cluster = c
+// Fleet returns a sharded fleet of the requested shape: the worker's
+// cached fleet reset in place when one exists, else a fresh one. Each
+// of the fleet's hosts runs on its own scheduler with its own
+// recycler (per-host arenas), so whichever shard worker advances a
+// host reuses that host's storage; the fleet's Exec hook is wired to
+// the world so shard tasks land on the executor's worker pool.
+func (w *World) Fleet(cost *costmodel.Model, cfg cluster.Config, policy cluster.Policy) *cluster.ShardedCluster {
+	if w.fleet == nil {
+		w.fleet = cluster.NewSharded(cost, cfg, policy)
+	} else {
+		w.fleet.Reset(cost, cfg, policy)
 	}
-	// Reset even on first use: New built the node runtimes before the
-	// recycler was attached, and a reset wires them to it.
-	w.cluster.Reset(cost, cfg, policy)
-	return w.cluster
+	w.fleet.Exec = w.Exec
+	return w.fleet
+}
+
+// Exec runs independent sub-cell tasks — a sharded fleet's per-host
+// advances — to completion: on the executor's worker pool when the
+// world belongs to one (idle and waiting workers pick them up), else
+// serially in order. Tasks must be order-independent; results may not
+// depend on which path ran them.
+func (w *World) Exec(tasks []func()) {
+	if w.par != nil {
+		w.par(tasks)
+		return
+	}
+	for _, t := range tasks {
+		t()
+	}
+}
+
+// NoteShardWalls reports the finished cell's per-shard wall-clock
+// breakdown for `squeezyctl -cellstats`. Walls are instrumentation
+// only and never enter a Report.
+func (w *World) NoteShardWalls(walls []time.Duration) {
+	w.shardWalls = append(w.shardWalls[:0], walls...)
 }

@@ -1,20 +1,3 @@
-// Package faas models the OpenWhisk-based N:1 serverless runtime the
-// paper integrates Squeezy into (§4.2, §6.2), plus the 1:1 microVM
-// model it compares against (§6.3).
-//
-// One FuncVM is an N:1 VM: an in-guest Agent dispatches requests to
-// warm (kept-alive) container instances, creates instances on demand
-// (scale-up: memory plug + container spawn), and evicts instances whose
-// keep-alive window expires (scale-down: container kill + memory
-// unplug). A Runtime coordinates several FuncVMs against one host
-// memory pool through a Broker; when the host runs out of memory,
-// scale-ups queue and idle instances across all VMs are evicted to free
-// memory (§6.2.2).
-//
-// Four memory backends implement the paper's comparison points: a
-// statically over-provisioned VM (no elasticity, Figure 1), vanilla
-// virtio-mem, Squeezy, and virtio-mem with the HarvestVM optimizations
-// (proactive reclamation + slack buffering, [24]).
 package faas
 
 import (
@@ -246,6 +229,12 @@ type FuncVM struct {
 
 	pumping, pumpAgain bool
 
+	// recycle, when non-nil, is the pool this VM was built from and
+	// returns to on Release; released guards against double-release
+	// aliasing the shell into the pool twice.
+	recycle  *Recycler
+	released bool
+
 	// Metrics.
 	Latencies      map[string]*stats.Sample // per function name, ms
 	Completions    []Completion
@@ -262,6 +251,15 @@ type FuncVM struct {
 
 // NewFuncVM boots an N:1 VM on the host with the configured backend.
 func NewFuncVM(sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model, broker *Broker, cfg VMConfig) *FuncVM {
+	return newFuncVM(nil, sched, host, cost, broker, cfg)
+}
+
+// newFuncVM is NewFuncVM with an optional recycler: the agent shell and
+// the inner vmm.VM come out of the pool when possible, and the kernel
+// arenas draw from the pool's guestos cache. Every observable field is
+// (re-)initialized here, so a recycled FuncVM is indistinguishable from
+// a fresh one.
+func newFuncVM(rec *Recycler, sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model, broker *Broker, cfg VMConfig) *FuncVM {
 	if cfg.N <= 0 {
 		panic("faas: concurrency factor must be positive")
 	}
@@ -281,23 +279,52 @@ func NewFuncVM(sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model, 
 	if vcpus < 1 {
 		vcpus = 1
 	}
-	vm := vmm.New(cfg.Name, sched, cost, host, vcpus)
+	var vm *vmm.VM
+	var fv *FuncVM
+	if rec != nil {
+		vm = rec.takeVM(cfg.Name, sched, cost, host, vcpus)
+		fv = rec.takeFuncVM()
+	}
+	if vm == nil {
+		vm = vmm.New(cfg.Name, sched, cost, host, vcpus)
+	}
 	if cfg.PinReclaim {
 		vm.PinReclaimThreads()
 	}
 
 	h := fnv.New64a()
 	h.Write([]byte(cfg.Name))
-	fv := &FuncVM{
-		Cfg:       cfg,
-		Sched:     sched,
-		Broker:    broker,
-		VM:        vm,
-		instBytes: instBytes,
-		instances: make(map[*Instance]struct{}),
-		Latencies: make(map[string]*stats.Sample),
-		rng:       rand.New(rand.NewPCG(h.Sum64(), 0x5a5a)),
+	if fv == nil {
+		fv = &FuncVM{
+			instances: make(map[*Instance]struct{}),
+			Latencies: make(map[string]*stats.Sample),
+		}
+	} else {
+		clear(fv.instances)
+		clear(fv.Latencies)
+		clear(fv.idle)
+		fv.idle = fv.idle[:0]
+		clear(fv.queue)
+		fv.queue = fv.queue[:0]
+		fv.Completions = fv.Completions[:0]
+		fv.unplugOrigins = fv.unplugOrigins[:0]
+		fv.starting = 0
+		fv.harvestBuffer = 0
+		fv.pressureNext = false
+		fv.pumping, fv.pumpAgain = false, false
+		fv.sq, fv.vmem = nil, nil
+		fv.ColdStarts, fv.WarmStarts, fv.DroppedReqs, fv.Evictions = 0, 0, 0, 0
+		fv.ReclaimedBytes, fv.ReclaimTime, fv.ReclaimOps = 0, 0, 0
+		fv.PlugTime, fv.PlugOps = 0, 0
 	}
+	fv.Cfg = cfg
+	fv.Sched = sched
+	fv.Broker = broker
+	fv.VM = vm
+	fv.instBytes = instBytes
+	fv.rng = rand.New(rand.NewPCG(h.Sum64(), 0x5a5a))
+	fv.recycle = rec
+	fv.released = false
 
 	switch cfg.Kind {
 	case Squeezy:
@@ -339,9 +366,21 @@ func NewFuncVM(sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model, 
 }
 
 // Release retires the VM's guest-kernel arenas into the recycler it
-// was configured with (no-op otherwise). The VM must be dead: nothing
-// may touch its kernel afterwards.
-func (fv *FuncVM) Release() { fv.K.Release() }
+// was configured with, and — when the FuncVM itself was built through a
+// faas.Recycler — returns the inner vmm.VM and the agent shell to that
+// pool. The VM must be dead: nothing may touch it afterwards. Release
+// is idempotent; repeated calls are no-ops.
+func (fv *FuncVM) Release() {
+	if fv.released {
+		return
+	}
+	fv.released = true
+	fv.K.Release()
+	if fv.recycle != nil {
+		fv.recycle.putVM(fv.VM)
+		fv.recycle.putFuncVM(fv)
+	}
+}
 
 // InstanceBytes returns the block-aligned per-instance memory size.
 func (fv *FuncVM) InstanceBytes() int64 { return fv.instBytes }

@@ -2,7 +2,6 @@ package faas
 
 import (
 	"squeezy/internal/costmodel"
-	"squeezy/internal/guestos"
 	"squeezy/internal/hostmem"
 	"squeezy/internal/sim"
 	"squeezy/internal/units"
@@ -24,10 +23,11 @@ type Runtime struct {
 	// ahead of demand (§6.2.2).
 	ProactiveFactor float64
 
-	// Recycle, when non-nil, is injected into every AddVM so the guest
-	// kernels of this runtime's VMs build from (and, via Release,
-	// return to) a shared arena cache.
-	Recycle *guestos.Recycler
+	// Recycle, when non-nil, backs every AddVM with a shared pool: the
+	// guest kernels of this runtime's VMs build from (and, via Release,
+	// return to) its arena cache, and the FuncVM shells and inner
+	// vmm.VMs themselves are recycled through it.
+	Recycle *Recycler
 
 	reclaimInFlight int64         // pages expected from in-flight evictions
 	reclaimRecs     []*reclaimRec // outstanding evictions, oldest first
@@ -54,19 +54,22 @@ func NewRuntime(sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model)
 	return r
 }
 
-// AddVM boots a FuncVM and registers it with the runtime.
+// AddVM boots a FuncVM and registers it with the runtime. With a
+// recycler attached, the VM's kernel arenas, its vmm.VM, and the agent
+// shell all come out of the pool.
 func (r *Runtime) AddVM(cfg VMConfig) *FuncVM {
-	if cfg.Recycle == nil {
-		cfg.Recycle = r.Recycle
+	if cfg.Recycle == nil && r.Recycle != nil {
+		cfg.Recycle = r.Recycle.Kernels
 	}
-	fv := NewFuncVM(r.Sched, r.Host, r.Cost, r.Broker, cfg)
+	fv := newFuncVM(r.Recycle, r.Sched, r.Host, r.Cost, r.Broker, cfg)
 	r.VMs = append(r.VMs, fv)
 	return fv
 }
 
-// Release retires every VM's guest-kernel arenas into the runtime's
-// recycler (no-op without one). Call it only when the simulation is
-// over: the runtime and its VMs must not be used afterwards.
+// Release retires every VM — guest-kernel arenas, inner vmm.VMs, and
+// agent shells — into the runtime's recycler (no-op without one). Call
+// it only when the simulation is over: the runtime and its VMs must
+// not be used afterwards.
 func (r *Runtime) Release() {
 	for _, fv := range r.VMs {
 		fv.Release()

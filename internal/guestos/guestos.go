@@ -1,14 +1,3 @@
-// Package guestos models the guest Linux kernel's memory management as
-// the paper depends on it: processes with lazily-faulted anonymous
-// memory, a shared page cache for file mappings, fork/exit lifecycles,
-// a reverse map from physical chunks to their owners, and the
-// migration machinery the hot-unplug path leans on.
-//
-// The model is structural, not statistical: pages live in real zones
-// managed by a real buddy allocator, so footprint interleaving across
-// memory blocks — the phenomenon of Figure 3 that makes vanilla
-// unplugging slow — emerges from the allocation history exactly as it
-// does on Linux.
 package guestos
 
 import (

@@ -1,0 +1,14 @@
+// Package hostmem models the host's physical memory pool as the FaaS
+// runtime and the VMMs see it.
+//
+// Two quantities matter to the paper's experiments:
+//
+//   - committed memory: guest physical memory currently plugged into
+//     VMs. The runtime's memory broker admits scale-ups against this
+//     budget (Figure 10 restricts it to ~70% of peak).
+//   - populated memory: host frames actually backing touched guest
+//     pages. Plugging commits memory without populating it; the first
+//     guest touch populates a frame (nested page fault); unplugging
+//     releases frames via madvise(MADV_DONTNEED). Figure 1's "idle host
+//     memory" is populated memory that the guest no longer uses.
+package hostmem

@@ -1,20 +1,3 @@
-// Package sim provides the virtual clock and deterministic discrete-event
-// scheduler that drive every experiment in this repository.
-//
-// All simulated latencies — page migrations, VM exits, function
-// executions, keep-alive timers — are expressed in virtual nanoseconds
-// and ordered through a single Scheduler. Events that share a timestamp
-// fire in insertion order, so a run is a pure function of its inputs and
-// seed: two runs with identical inputs produce identical outputs.
-//
-// The scheduler is built for the dense timer traffic a fleet simulation
-// generates (per-request completions, keep-alives, retry timers):
-// event records live in a recycled arena instead of being heap-allocated
-// per event, cancelled events are dropped lazily when they reach the
-// front of the queue, and a coarse near-future bucket ring absorbs the
-// events that fire within the next ~268 ms so the binary heap only sees
-// far-out timers. None of this changes observable ordering: events fire
-// strictly by (timestamp, insertion sequence).
 package sim
 
 import (
@@ -323,6 +306,27 @@ func (s *Scheduler) RunUntil(t Time) {
 
 // RunFor runs the simulation for d nanoseconds of virtual time.
 func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+// RunUntilEpoch fires all events with timestamps strictly before t,
+// then advances the clock to exactly t. Events scheduled at t itself
+// stay pending and fire on the next run call, after anything a caller
+// schedules at t once the clock has landed there.
+//
+// This is the primitive epoch-lockstep execution is built on: a host
+// simulation advanced with RunUntilEpoch(t) has fully settled the past
+// but has not yet consumed the present, so a coordinator paused at t
+// can read the host's pre-t state and schedule new work at t before
+// the host's own t-stamped backlog is allowed to fire. Ordering stays
+// deterministic: pending events at t keep their insertion sequence and
+// precede anything the coordinator schedules at t.
+func (s *Scheduler) RunUntilEpoch(t Time) {
+	if t > 0 {
+		s.RunUntil(t - 1)
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
 
 // NextEventTime returns the timestamp of the earliest pending event and
 // true, or zero and false if the queue is empty.

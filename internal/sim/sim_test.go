@@ -447,3 +447,58 @@ func TestResetStaleHandleInert(t *testing.T) {
 		t.Fatal("event cancelled through a stale pre-Reset handle")
 	}
 }
+
+// TestRunUntilEpoch pins the epoch-advance contract: events strictly
+// before the boundary fire, events at the boundary stay pending, the
+// clock lands exactly on the boundary, and work injected at the
+// boundary orders after the pending same-timestamp backlog.
+func TestRunUntilEpoch(t *testing.T) {
+	s := NewScheduler()
+	var log []int
+	s.At(5, func() { log = append(log, 5) })
+	s.At(10, func() { log = append(log, 10) }) // backlog at the boundary
+	s.At(15, func() { log = append(log, 15) })
+
+	s.RunUntilEpoch(10)
+	if s.Now() != 10 {
+		t.Fatalf("clock = %d, want 10", s.Now())
+	}
+	if len(log) != 1 || log[0] != 5 {
+		t.Fatalf("fired %v, want only the pre-boundary event", log)
+	}
+
+	// Injected at the boundary: must fire after the pending backlog at
+	// the same timestamp (its insertion sequence is later).
+	s.At(10, func() { log = append(log, 100) })
+	s.Run()
+	want := []int{5, 10, 100, 15}
+	if len(log) != len(want) {
+		t.Fatalf("fired %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("fired %v, want %v", log, want)
+		}
+	}
+}
+
+// TestRunUntilEpochZeroAndIdle covers the edges: an epoch advance to 0
+// is a no-op on a fresh scheduler, and advancing an empty scheduler
+// just moves the clock.
+func TestRunUntilEpochZeroAndIdle(t *testing.T) {
+	s := NewScheduler()
+	s.RunUntilEpoch(0)
+	if s.Now() != 0 {
+		t.Fatalf("clock = %d after epoch 0", s.Now())
+	}
+	s.RunUntilEpoch(42)
+	if s.Now() != 42 {
+		t.Fatalf("clock = %d, want 42", s.Now())
+	}
+	fired := false
+	s.At(42, func() { fired = true })
+	s.RunUntilEpoch(43)
+	if !fired {
+		t.Fatal("event at 42 did not fire when advancing past it")
+	}
+}

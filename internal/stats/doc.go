@@ -1,0 +1,4 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment drivers: latency samples with percentiles, time series,
+// geometric means, and cost breakdowns matching the paper's figures.
+package stats

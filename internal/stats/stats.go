@@ -1,6 +1,3 @@
-// Package stats provides the small statistical toolkit used by the
-// experiment drivers: latency samples with percentiles, time series,
-// geometric means, and cost breakdowns matching the paper's figures.
 package stats
 
 import (
@@ -116,6 +113,16 @@ func (s *Sample) Stddev() float64 {
 		ss += d * d
 	}
 	return math.Sqrt(ss / float64(n))
+}
+
+// Merge adds every observation of o to s. Percentiles, Min, and Max of
+// the result depend only on the combined multiset of observations, so
+// merging per-shard samples in any fixed order reproduces the
+// order-statistics of a single globally-accumulated sample.
+func (s *Sample) Merge(o *Sample) {
+	for _, v := range o.xs {
+		s.Add(v)
+	}
 }
 
 // Values returns a copy of the observations in insertion order is not

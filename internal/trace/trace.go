@@ -1,12 +1,3 @@
-// Package trace synthesizes FaaS invocation traces with the bursty,
-// heavy-tailed shape of the Azure Functions production traces the paper
-// replays (§6.2.1, [66, 83]), and provides the instance-churn analysis
-// behind Figure 2.
-//
-// The real traces are proprietary; the generator reproduces the
-// properties the experiments depend on: long quiet stretches at a low
-// base rate punctuated by bursts that force the runtime to scale
-// instance counts up and down by tens per minute.
 package trace
 
 import (

@@ -1,0 +1,7 @@
+// Package units provides byte-size constants, page/block geometry shared
+// by the whole simulator, and human-readable formatting helpers.
+//
+// The geometry mirrors x86-64 Linux: 4 KiB base pages, 2 MiB huge pages,
+// and 128 MiB hotplug memory blocks (the granularity at which virtio-mem
+// and the Linux memory hot(un)plug core add and remove memory).
+package units

@@ -1,14 +1,3 @@
-// Package virtiomem models the virtio-mem paravirtualized memory device
-// and its vanilla Linux guest driver (Hildenbrand & Schulz, VEE'21) —
-// the state-of-the-art baseline Squeezy is measured against.
-//
-// Plugging onlines 128 MiB blocks into ZONE_MOVABLE. Unplugging is the
-// expensive path the paper dissects (§2.2): for each candidate block the
-// driver isolates the block's free pages, migrates every occupied page
-// to the remaining online memory (the dominant cost, ≈61.5%), zeroes the
-// pages being handed back when the kernel hardening knob is on (≈24%),
-// tears the block down, and notifies the hypervisor with a VM exit,
-// after which the host madvise()s the frames away.
 package virtiomem
 
 import (

@@ -1,14 +1,3 @@
-// Package workload defines the workloads of the paper's evaluation
-// (§5.1): the memhog microbenchmark used for the reclamation
-// experiments, and the four FaaS functions of Table 1 with their
-// resource limits and execution profiles.
-//
-// Per-function execution profiles (CPU phases, anonymous vs file-backed
-// footprint split) are not published in the paper; they are chosen so
-// the derived quantities land where the paper reports them: cold starts
-// of 1-7 s (Figure 11a), per-instance footprints where the 1:1 model
-// costs ≈2.53x more memory (Figure 11b), and container/function init
-// speedups of ≈1.33x/1.25x in the N:1 model (§6.3).
 package workload
 
 import (
