@@ -34,6 +34,11 @@ type Config struct {
 	// HarvestBufferInstances caps each Harvest VM's slack buffer in
 	// instance sizes (default 2).
 	HarvestBufferInstances int
+	// PhaseBounds, when non-empty, splits latency metrics into phases at
+	// the given simulated times (strictly ascending): phase i covers
+	// [bounds[i-1], bounds[i]). Churn experiments bound phases at the
+	// failure/drain instant to isolate the post-event cold-start storm.
+	PhaseBounds []sim.Time
 }
 
 // Node is one simulated host: a private scheduler, memory pool, and
@@ -63,6 +68,27 @@ type Node struct {
 
 	vms     map[string]*faas.FuncVM
 	vmOrder []*faas.FuncVM // creation order, for deterministic iteration
+
+	// state tracks fleet membership (fleetdyn.go): active hosts take new
+	// placements, draining hosts only finish what they have, dead hosts
+	// never advance again.
+	state nodeState
+	// inflight is the host's dispatcher-routed invocations that have not
+	// completed, in routing order. The dispatcher appends at route time
+	// (host paused at a boundary); the completion wrapper removes
+	// host-locally. On failure or drain expiry the survivors re-place in
+	// this order, exactly once each.
+	inflight []*flight
+}
+
+// flight is one dispatcher-routed invocation from arrival to
+// completion. It survives host failure: re-placement routes the same
+// flight to a new host, and the recorded latency spans the original
+// arrival — lost work is paid, not hidden.
+type flight struct {
+	fn      *workload.Function
+	arrival sim.Time
+	onDone  func(faas.Result)
 }
 
 // LiveInstances returns live (starting, busy, idle) instances on the
@@ -95,6 +121,12 @@ type NodeMetrics struct {
 	ColdLatMs *stats.Sample
 	WarmLatMs *stats.Sample
 	MemWaitMs *stats.Sample
+
+	// ColdPhase and LatPhase split cold and all completed latencies by
+	// completion time into the phases of Config.PhaseBounds; nil when no
+	// bounds are configured.
+	ColdPhase *stats.PhasedSample
+	LatPhase  *stats.PhasedSample
 }
 
 func newNodeMetrics() NodeMetrics {
@@ -108,6 +140,21 @@ func (m *NodeMetrics) reset() {
 	m.ColdLatMs.Reset()
 	m.WarmLatMs.Reset()
 	m.MemWaitMs.Reset()
+}
+
+// initPhases (re)builds the phase-split samples for the given bounds,
+// or clears them when bounds are empty.
+func (m *NodeMetrics) initPhases(bounds []sim.Time) {
+	if len(bounds) == 0 {
+		m.ColdPhase, m.LatPhase = nil, nil
+		return
+	}
+	secs := make([]float64, len(bounds))
+	for i, b := range bounds {
+		secs[i] = b.Seconds()
+	}
+	m.ColdPhase = stats.NewPhased(secs...)
+	m.LatPhase = stats.NewPhased(secs...)
 }
 
 // Metrics aggregates fleet-wide outcomes. Latency samples are in
@@ -131,6 +178,24 @@ type Metrics struct {
 	// MemWaitMs samples the memory-queueing phase of every cold start —
 	// the fleet's reclamation stall time.
 	MemWaitMs *stats.Sample
+
+	// ColdPhase and LatPhase are the fleet-wide phase-split latency
+	// views (Config.PhaseBounds), merged from the per-host samples by
+	// Stats; nil when no bounds are configured.
+	ColdPhase *stats.PhasedSample
+	LatPhase  *stats.PhasedSample
+
+	// Fleet-dynamics counters (fleetdyn.go), written by the serial
+	// dispatcher only.
+	HostJoins  int
+	HostFails  int
+	HostDrains int
+	// Replaced counts re-placement attempts of in-flight invocations
+	// after a host failure or drain-deadline expiry (a re-place the full
+	// fleet cannot admit still counts here and in AdmissionDrops).
+	Replaced int
+	// WarmLost counts warm idle instances destroyed by host failures.
+	WarmLost int
 
 	// Committed and Populated are fleet-wide memory time series in GiB,
 	// fed by SampleMemory at dispatcher epochs.
@@ -157,7 +222,10 @@ type ShardedCluster struct {
 	Cost   *costmodel.Model
 	Cfg    Config
 	Policy Policy
-	Nodes  []*Node
+	// Nodes holds every host that ever existed this run, in host-ID
+	// order — dead hosts included, so their metrics still merge. The
+	// fleet-dynamics views below narrow it.
+	Nodes []*Node
 
 	// Exec, when non-nil, runs a batch of shard-advance tasks —
 	// possibly in parallel — and returns when all have completed. The
@@ -169,12 +237,24 @@ type ShardedCluster struct {
 
 	now sim.Time // dispatcher clock: the current epoch boundary
 
+	// Fleet-dynamics state (fleetdyn.go). active is the placement-
+	// eligible subset of Nodes; live additionally includes draining
+	// hosts — everything that still advances. Both stay in host-ID
+	// order; with no churn, active == live == Nodes.
+	active    []*Node
+	live      []*Node
+	fleetQ    []FleetEvent // pending fleet events, sorted by T, FIFO at ties
+	autoscale *AutoscaleConfig
+	lastScale sim.Time // autoscaler cooldown anchor
+	scaled    bool     // an autoscaler action has happened this run
+
 	// Epoch-engine state (shard.go).
-	shardNodes [][]*Node
-	shardTasks []func()
-	drainTasks []func()
-	shardWalls []time.Duration // wall-clock per shard since prepare
-	epochT     sim.Time        // advance target shared by the shard tasks
+	shardsWanted int // requested shard count, reapplied on membership change
+	shardNodes   [][]*Node
+	shardTasks   []func()
+	drainTasks   []func()
+	shardWalls   []time.Duration // wall-clock per shard since prepare
+	epochT       sim.Time        // advance target shared by the shard tasks
 }
 
 // withDefaults fills the zero-valued optional fields.
@@ -213,7 +293,18 @@ func NewSharded(cost *costmodel.Model, cfg Config, policy Policy) *ShardedCluste
 	for i := 0; i < c.Cfg.Hosts; i++ {
 		c.Nodes = append(c.Nodes, c.newNode(i))
 	}
+	c.Metrics.ColdPhase, c.Metrics.LatPhase = fleetPhases(c.Cfg.PhaseBounds)
+	c.active = append(c.active, c.Nodes...)
+	c.live = append(c.live, c.Nodes...)
 	return c
+}
+
+// fleetPhases builds the fleet-level phase-split samples for bounds,
+// or nils when unconfigured.
+func fleetPhases(bounds []sim.Time) (cold, all *stats.PhasedSample) {
+	var m NodeMetrics
+	m.initPhases(bounds)
+	return m.ColdPhase, m.LatPhase
 }
 
 // newNode builds one host under the cluster's current config.
@@ -224,11 +315,13 @@ func (c *ShardedCluster) newNode(id int) *Node {
 	rt := faas.NewRuntime(sched, host, c.Cost)
 	rt.ProactiveFactor = c.Cfg.ProactiveFactor
 	rt.Recycle = rec
-	return &Node{
+	n := &Node{
 		ID: id, Backend: c.Cfg.Backend, Sched: sched, Host: host, RT: rt, Rec: rec,
 		M:   newNodeMetrics(),
 		vms: make(map[string]*faas.FuncVM),
 	}
+	n.M.initPhases(c.Cfg.PhaseBounds)
+	return n
 }
 
 // Reset rebuilds the cluster for a new run under a (possibly
@@ -258,6 +351,10 @@ func (c *ShardedCluster) Reset(cost *costmodel.Model, cfg Config, policy Policy)
 		rt.Recycle = n.Rec
 		n.RT = rt
 		n.M.reset()
+		n.M.initPhases(c.Cfg.PhaseBounds)
+		n.state = nodeActive
+		clear(n.inflight) // drop stale *flight pointers
+		n.inflight = n.inflight[:0]
 		clear(n.vms)
 		clear(n.vmOrder) // drop stale *FuncVM pointers
 		n.vmOrder = n.vmOrder[:0]
@@ -265,12 +362,20 @@ func (c *ShardedCluster) Reset(cost *costmodel.Model, cfg Config, policy Policy)
 	for len(c.Nodes) < c.Cfg.Hosts {
 		c.Nodes = append(c.Nodes, c.newNode(len(c.Nodes)))
 	}
+	c.active = append(c.active[:0], c.Nodes...)
+	c.live = append(c.live[:0], c.Nodes...)
+	c.fleetQ = c.fleetQ[:0]
+	c.autoscale = nil
+	c.lastScale, c.scaled = 0, false
+	c.shardsWanted = 0
 	c.shardNodes, c.shardTasks, c.drainTasks = nil, nil, nil
 	m := &c.Metrics
 	m.Invocations, m.ColdStarts, m.WarmStarts, m.Dropped, m.AdmissionDrops = 0, 0, 0, 0, 0
+	m.HostJoins, m.HostFails, m.HostDrains, m.Replaced, m.WarmLost = 0, 0, 0, 0, 0
 	m.ColdLatMs.Reset()
 	m.WarmLatMs.Reset()
 	m.MemWaitMs.Reset()
+	m.ColdPhase, m.LatPhase = fleetPhases(c.Cfg.PhaseBounds)
 	m.Committed.Reset()
 	m.Populated.Reset()
 }
@@ -302,28 +407,36 @@ func (c *ShardedCluster) Now() sim.Time { return c.now }
 // are host-local events that play out when the hosts advance again.
 func (c *ShardedCluster) Invoke(fn *workload.Function, onDone func(faas.Result)) {
 	c.Metrics.Invocations++
-	target := c.warmNode(fn)
+	c.route(&flight{fn: fn, arrival: c.now, onDone: onDone})
+}
+
+// route places one flight — fresh from Invoke or re-placed after a
+// host failure — through the dispatcher tiers, over the active hosts
+// only. It runs serially at an epoch boundary.
+func (c *ShardedCluster) route(fl *flight) {
+	target := c.warmNode(fl.fn)
 	if target == nil {
-		if cands := c.nodesWithSlack(fn); len(cands) > 0 {
-			target = c.Policy.Pick(cands, fn)
+		if cands := c.nodesWithSlack(fl.fn); len(cands) > 0 {
+			target = c.Policy.Pick(cands, fl.fn)
 		} else {
-			target = c.Policy.Pick(c.Nodes, fn)
+			target = c.Policy.Pick(c.active, fl.fn)
 		}
 	}
-	serving, fv := target, c.vmOn(target, fn)
+	serving, fv := target, c.vmOn(target, fl.fn)
 	if fv == nil {
-		serving, fv = c.fallbackVM(fn)
+		serving, fv = c.fallbackVM(fl.fn)
 	}
 	if fv == nil {
 		// No host can even boot a VM for fn: admission-drop rather than
 		// panic the host model with an unbackable boot.
 		c.Metrics.AdmissionDrops++
-		if onDone != nil {
-			onDone(faas.Result{Fn: fn, Arrival: c.now, Done: c.now, Dropped: true})
+		if fl.onDone != nil {
+			fl.onDone(faas.Result{Fn: fl.fn, Arrival: fl.arrival, Done: c.now, Dropped: true})
 		}
 		return
 	}
-	fv.Invoke(fn, record(&serving.M, onDone))
+	serving.inflight = append(serving.inflight, fl)
+	fv.Invoke(fl.fn, serving.complete(fl))
 }
 
 // warmNode returns the host that should serve fn warm — the one with
@@ -334,7 +447,7 @@ func (c *ShardedCluster) Invoke(fn *workload.Function, onDone func(faas.Result))
 func (c *ShardedCluster) warmNode(fn *workload.Function) *Node {
 	var best *Node
 	bestIdle := 0
-	for _, n := range c.Nodes {
+	for _, n := range c.active {
 		fv := n.vms[fn.Name]
 		if fv == nil {
 			continue
@@ -350,7 +463,7 @@ func (c *ShardedCluster) warmNode(fn *workload.Function) *Node {
 // concurrency, in host order.
 func (c *ShardedCluster) nodesWithSlack(fn *workload.Function) []*Node {
 	var out []*Node
-	for _, n := range c.Nodes {
+	for _, n := range c.active {
 		if fv := n.vms[fn.Name]; fv != nil && fv.LiveInstances() < c.Cfg.N {
 			out = append(out, n)
 		}
@@ -392,7 +505,7 @@ func (c *ShardedCluster) fallbackVM(fn *workload.Function) (*Node, *faas.FuncVM)
 	var existing *faas.FuncVM
 	var existingNode *Node
 	bestQueue := 0
-	for _, n := range c.Nodes {
+	for _, n := range c.active {
 		if fv := n.vms[fn.Name]; fv != nil {
 			if existing == nil || fv.QueueLen() < bestQueue {
 				existing, existingNode, bestQueue = fv, n, fv.QueueLen()
@@ -403,7 +516,7 @@ func (c *ShardedCluster) fallbackVM(fn *workload.Function) (*Node, *faas.FuncVM)
 		return existingNode, existing
 	}
 	var roomiest *Node
-	for _, n := range c.Nodes {
+	for _, n := range c.active {
 		if roomiest == nil || n.FreePages() > roomiest.FreePages() {
 			roomiest = n
 		}
@@ -411,25 +524,52 @@ func (c *ShardedCluster) fallbackVM(fn *workload.Function) (*Node, *faas.FuncVM)
 	return roomiest, c.vmOn(roomiest, fn)
 }
 
-// record wraps a caller's completion callback with host-local metrics
-// accounting. The callback fires on the serving host's scheduler —
-// possibly while a shard worker advances that host — so it must only
-// touch that host's NodeMetrics, never fleet-wide state.
-func record(m *NodeMetrics, onDone func(faas.Result)) func(faas.Result) {
+// complete wraps a flight's completion with host-local metrics
+// accounting and in-flight retirement. The callback fires on the
+// serving host's scheduler — possibly while a shard worker advances
+// that host — so it must only touch that host's state (NodeMetrics,
+// inflight), never fleet-wide state. The recorded latency spans the
+// flight's original arrival, so a re-placed invocation pays for the
+// work its failed host lost (identical to res.Latency when the flight
+// was never re-placed).
+func (n *Node) complete(fl *flight) func(faas.Result) {
 	return func(res faas.Result) {
+		n.removeFlight(fl)
+		m := &n.M
+		lat := res.Done.Sub(fl.arrival)
 		switch {
 		case res.Dropped:
 			m.Dropped++
 		case res.Cold:
 			m.ColdStarts++
-			m.ColdLatMs.Add(res.Latency.Milliseconds())
+			m.ColdLatMs.Add(lat.Milliseconds())
 			m.MemWaitMs.Add(res.Phases.MemWait.Milliseconds())
+			if m.ColdPhase != nil {
+				m.ColdPhase.Add(res.Done.Seconds(), lat.Milliseconds())
+			}
 		default:
 			m.WarmStarts++
-			m.WarmLatMs.Add(res.Latency.Milliseconds())
+			m.WarmLatMs.Add(lat.Milliseconds())
 		}
-		if onDone != nil {
-			onDone(res)
+		if !res.Dropped && m.LatPhase != nil {
+			m.LatPhase.Add(res.Done.Seconds(), lat.Milliseconds())
+		}
+		if fl.onDone != nil {
+			fl.onDone(res)
+		}
+	}
+}
+
+// removeFlight retires the flight from the host's in-flight list,
+// preserving order (re-placement order is part of the deterministic
+// contract). A flight already snatched away by a failure re-place is
+// simply absent — the completion of its doomed first placement never
+// fires, because a dead host's scheduler never advances again.
+func (n *Node) removeFlight(fl *flight) {
+	for i, f := range n.inflight {
+		if f == fl {
+			n.inflight = append(n.inflight[:i], n.inflight[i+1:]...)
+			return
 		}
 	}
 }
@@ -446,6 +586,10 @@ func (c *ShardedCluster) Stats() *Metrics {
 	m.ColdLatMs.Reset()
 	m.WarmLatMs.Reset()
 	m.MemWaitMs.Reset()
+	if m.ColdPhase != nil {
+		m.ColdPhase.Reset()
+		m.LatPhase.Reset()
+	}
 	for _, n := range c.Nodes {
 		m.ColdStarts += n.M.ColdStarts
 		m.WarmStarts += n.M.WarmStarts
@@ -453,15 +597,20 @@ func (c *ShardedCluster) Stats() *Metrics {
 		m.ColdLatMs.Merge(n.M.ColdLatMs)
 		m.WarmLatMs.Merge(n.M.WarmLatMs)
 		m.MemWaitMs.Merge(n.M.MemWaitMs)
+		if m.ColdPhase != nil && n.M.ColdPhase != nil {
+			m.ColdPhase.Merge(n.M.ColdPhase)
+			m.LatPhase.Merge(n.M.LatPhase)
+		}
 	}
 	return m
 }
 
 // SampleMemory appends one fleet-wide committed/populated point (GiB)
-// at the dispatcher clock. Call at an epoch boundary only.
+// at the dispatcher clock, over the live hosts (a dead host's memory
+// no longer exists). Call at an epoch boundary only.
 func (c *ShardedCluster) SampleMemory() {
 	var committed, populated int64
-	for _, n := range c.Nodes {
+	for _, n := range c.live {
 		committed += n.Host.CommittedPages()
 		populated += n.Host.PopulatedPages()
 	}

@@ -28,13 +28,30 @@
 // parallel. Completion metrics accumulate per host and merge in
 // host-ID order.
 //
+// # Fleet dynamics
+//
+// Since PR 6 the fleet's shape is itself simulated (fleetdyn.go):
+// FleetEvents make hosts join, fail, or drain mid-trace, and an
+// optional autoscaler turns aggregate memory pressure into delayed
+// joins and drains. Node sets are layered active ⊆ live ⊆ Nodes —
+// only active hosts take placements, only live hosts advance — and
+// every shape change happens at an epoch boundary with all hosts
+// paused, in canonical order (settle drains, fleet events, then the
+// boundary's dispatcher work). A failed host's scheduler is simply
+// never advanced again, so its pending completions and grants are
+// frozen rather than cancelled; its in-flight work (tracked as
+// flights) re-places through the normal dispatcher exactly once.
+// Churn triggers a reshard of the live set, preserving epoch walls.
+//
 // # Determinism
 //
 // The dispatcher holds no RNG, iterates hosts in slice order, and
 // breaks every tie by host ID; a host's evolution between boundaries
 // is a pure function of its state at the last boundary; and nothing
 // depends on the shard partition or on which worker advanced which
-// host. A fleet run is therefore a pure function of its traces and
-// seed, byte-identical at every shard count — the property
-// TestShardCountInvariance and TestParallelShardsMatchSerial pin down.
+// host. A fleet run is therefore a pure function of its traces, its
+// fleet-event schedule, and its seed, byte-identical at every shard
+// count — the property TestShardCountInvariance,
+// TestParallelShardsMatchSerial, and (under fuzzed churn)
+// TestChurnShardInvariance pin down.
 package cluster

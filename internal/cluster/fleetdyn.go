@@ -1,0 +1,337 @@
+package cluster
+
+import (
+	"squeezy/internal/costmodel"
+	"squeezy/internal/sim"
+	"squeezy/internal/units"
+)
+
+// Fleet dynamics: hosts join, fail, and drain while a trace plays.
+//
+// Every fleet-shape change happens at a dispatcher epoch boundary,
+// with all hosts paused — the same serialization point that makes
+// routing deterministic makes churn deterministic. The canonical
+// boundary order is: retire finished drains, fire due fleet events in
+// queue order, route invocations in trace order, sample memory,
+// evaluate the autoscaler. Nothing about a shape change depends on the
+// shard partition or the worker pool:
+//
+//   - Failure: the host's warm pool is lost, its runtime is released
+//     into its recycler (kernels, vmm.VMs, shells harvested), and its
+//     in-flight invocations re-place through the normal dispatcher
+//     tiers in routing order. The dead host's scheduler never advances
+//     again, so the doomed first placements' completions never fire —
+//     each invocation completes exactly once, on its final host.
+//   - Drain: the host stops taking placements but keeps advancing
+//     until its in-flight work completes or the drain deadline
+//     (costmodel.ReclaimDrainTimeout) expires, at which point the
+//     stragglers re-place exactly once and the host retires.
+//   - Join: the new host gets the next monotonic host ID — IDs are
+//     never reused — and its private scheduler jumps to the fleet
+//     clock. Host identity (VM names, per-VM RNG streams) derives only
+//     from the ID and join order, so a joined host's sub-simulation is
+//     reproducible at any shard count.
+//
+// After every membership change the shard partition is rebuilt over
+// the live hosts; partitioning never affects results, only which
+// worker advances which host.
+
+// FleetEventKind classifies one fleet-shape change.
+type FleetEventKind int
+
+const (
+	// HostJoin adds a fresh host to the fleet (Host is ignored).
+	HostJoin FleetEventKind = iota
+	// HostFail kills a host abruptly: its warm pool is destroyed and
+	// its in-flight invocations re-place immediately.
+	HostFail
+	// HostDrain removes a host gracefully: no new placements; running
+	// work finishes, or re-places when the drain deadline expires.
+	HostDrain
+	// drainDeadline is the internal expiry of a started drain.
+	drainDeadline
+)
+
+// FleetEvent is one scheduled fleet-shape change on simulated time.
+type FleetEvent struct {
+	T    sim.Time
+	Kind FleetEventKind
+	// Host targets a host ID for HostFail/HostDrain; -1 picks the
+	// busiest active host at event time (the worst-case victim).
+	// Targeting a host that is already gone — or never existed — is a
+	// no-op, as is removing the last active host.
+	Host int
+}
+
+// AutoscaleConfig drives host count from aggregate memory pressure
+// (committed / capacity over the active hosts), evaluated at every
+// memory-sample tick — so autoscaling requires PlayConfig.TickEvery.
+type AutoscaleConfig struct {
+	// High and Low are the scale-up and scale-down pressure thresholds.
+	High, Low float64
+	// MinHosts and MaxHosts bound the active host count (defaults: 1
+	// and unbounded).
+	MinHosts, MaxHosts int
+	// Cooldown is the minimum time between autoscaler actions.
+	Cooldown sim.Duration
+	// JoinDelay models host provisioning: a scale-up decided at T adds
+	// the host at T+JoinDelay.
+	JoinDelay sim.Duration
+}
+
+// ScheduleFleetEvents queues churn events for the next Play. Events
+// need not be sorted; same-time events fire in the given order.
+func (c *ShardedCluster) ScheduleFleetEvents(events []FleetEvent) {
+	for _, ev := range events {
+		c.enqueueFleet(ev)
+	}
+}
+
+// ActiveHosts returns the number of placement-eligible hosts.
+func (c *ShardedCluster) ActiveHosts() int { return len(c.active) }
+
+// LiveHosts returns the number of hosts still advancing (active +
+// draining).
+func (c *ShardedCluster) LiveHosts() int { return len(c.live) }
+
+// enqueueFleet inserts the event keeping the queue sorted by time,
+// FIFO among equal times.
+func (c *ShardedCluster) enqueueFleet(ev FleetEvent) {
+	i := len(c.fleetQ)
+	for i > 0 && c.fleetQ[i-1].T > ev.T {
+		i--
+	}
+	c.fleetQ = append(c.fleetQ, FleetEvent{})
+	copy(c.fleetQ[i+1:], c.fleetQ[i:])
+	c.fleetQ[i] = ev
+}
+
+// fireFleetEvents applies every queued event due at or before t. The
+// fleet must be paused at boundary t.
+func (c *ShardedCluster) fireFleetEvents(t sim.Time) {
+	for len(c.fleetQ) > 0 && c.fleetQ[0].T <= t {
+		ev := c.fleetQ[0]
+		c.fleetQ = c.fleetQ[1:]
+		c.applyFleetEvent(ev)
+	}
+}
+
+func (c *ShardedCluster) applyFleetEvent(ev FleetEvent) {
+	switch ev.Kind {
+	case HostJoin:
+		c.joinHost()
+	case HostFail:
+		if n := c.victim(ev.Host, true); n != nil {
+			c.failHost(n)
+		}
+	case HostDrain:
+		if n := c.victim(ev.Host, false); n != nil {
+			c.startDrain(n)
+		}
+	case drainDeadline:
+		n := c.Nodes[ev.Host]
+		if n.state == nodeDraining {
+			c.expireDrain(n)
+		}
+	}
+}
+
+// victim resolves an event's target host. -1 picks the busiest active
+// host (most live instances, tie to the lowest ID). A dangling ID, a
+// host already dead (or already draining, for a drain), or a removal
+// that would leave no active host all resolve to nil — churn schedules
+// are fuzzed, so impossible events must be safe no-ops.
+func (c *ShardedCluster) victim(id int, allowDraining bool) *Node {
+	var n *Node
+	switch {
+	case id == -1:
+		best := -1
+		for _, cand := range c.active {
+			if live := cand.LiveInstances(); live > best {
+				n, best = cand, live
+			}
+		}
+	case id >= 0 && id < len(c.Nodes):
+		n = c.Nodes[id]
+	}
+	if n == nil || n.state == nodeDead {
+		return nil
+	}
+	if n.state == nodeDraining && !allowDraining {
+		return nil
+	}
+	if n.state == nodeActive && len(c.active) <= 1 {
+		return nil // never remove the last active host
+	}
+	return n
+}
+
+// joinHost adds a fresh host at the fleet clock. The host ID is the
+// next monotonic index — dead hosts keep their IDs — and the host's
+// private scheduler jumps to now, so its first event lands on the
+// fleet timeline.
+func (c *ShardedCluster) joinHost() *Node {
+	n := c.newNode(len(c.Nodes))
+	n.Sched.Jump(c.now)
+	c.Nodes = append(c.Nodes, n)
+	c.active = append(c.active, n)
+	c.live = append(c.live, n)
+	c.Metrics.HostJoins++
+	c.reshard()
+	return n
+}
+
+// failHost kills the host abruptly: warm pool destroyed, runtime
+// released into the host's recycler, in-flight invocations re-placed
+// through the dispatcher in routing order, exactly once each.
+func (c *ShardedCluster) failHost(n *Node) {
+	c.Metrics.HostFails++
+	c.Metrics.WarmLost += n.RT.IdleInstances()
+	c.retire(n)
+	c.replaceFlights(n)
+}
+
+// startDrain stops placements on the host and arms the drain deadline.
+// The host keeps advancing with the fleet until its in-flight work
+// completes (settleDrains) or the deadline fires (expireDrain).
+func (c *ShardedCluster) startDrain(n *Node) {
+	c.Metrics.HostDrains++
+	n.state = nodeDraining
+	c.active = removeNode(c.active, n)
+	c.enqueueFleet(FleetEvent{
+		T: c.now.Add(costmodel.ReclaimDrainTimeout), Kind: drainDeadline, Host: n.ID,
+	})
+}
+
+// expireDrain fires when a draining host's grace period ends with work
+// still in flight: the stragglers re-place exactly once — their doomed
+// completions can never fire, the retired host's scheduler is frozen —
+// and the host retires.
+func (c *ShardedCluster) expireDrain(n *Node) {
+	c.retire(n)
+	c.replaceFlights(n)
+}
+
+// settleDrains retires draining hosts whose in-flight work has
+// completed. Called at every epoch boundary, before fleet events and
+// routing, so a finished drain frees its shard slot promptly.
+func (c *ShardedCluster) settleDrains() {
+	var done []*Node // collected first: retire edits c.live in place
+	for _, n := range c.live {
+		if n.state == nodeDraining && len(n.inflight) == 0 {
+			done = append(done, n)
+		}
+	}
+	for _, n := range done {
+		c.retire(n)
+	}
+}
+
+// retire removes the host from the fleet for good: its runtime
+// releases every VM into the host's recycler (guest kernels, vmm.VMs,
+// agent shells — the same harvest a finished run performs), and its
+// scheduler never advances again, freezing any event still pending on
+// it. The shard partition is rebuilt over the surviving hosts.
+func (c *ShardedCluster) retire(n *Node) {
+	n.state = nodeDead
+	c.active = removeNode(c.active, n)
+	c.live = removeNode(c.live, n)
+	n.RT.Release()
+	c.reshard()
+}
+
+// replaceFlights re-places a retired host's in-flight invocations in
+// their original routing order. Each flight keeps its arrival time, so
+// its eventual latency pays for the lost work. Re-placement runs after
+// retirement: the dispatcher no longer sees the dead host.
+func (c *ShardedCluster) replaceFlights(n *Node) {
+	flights := n.inflight
+	n.inflight = nil // ownership moves; the dead host drops its list
+	for _, fl := range flights {
+		c.Metrics.Replaced++
+		c.route(fl)
+	}
+}
+
+// autoscaleTick evaluates the autoscaler against aggregate memory
+// pressure at a sample tick. Scale-ups are provisioning-delayed joins;
+// scale-downs drain the idlest active host (fewest live instances, tie
+// to the highest ID — the newest host retires first).
+func (c *ShardedCluster) autoscaleTick() {
+	as := c.autoscale
+	if as == nil || c.Cfg.HostMemBytes <= 0 {
+		return
+	}
+	if c.scaled && c.now.Sub(c.lastScale) < as.Cooldown {
+		return
+	}
+	var committed int64
+	for _, n := range c.active {
+		committed += n.Host.CommittedPages()
+	}
+	capacity := int64(len(c.active)) * units.BytesToPages(c.Cfg.HostMemBytes)
+	pressure := float64(committed) / float64(capacity)
+
+	minHosts, maxHosts := as.MinHosts, as.MaxHosts
+	if minHosts < 1 {
+		minHosts = 1
+	}
+	if maxHosts <= 0 {
+		maxHosts = int(^uint(0) >> 1)
+	}
+	switch {
+	case pressure >= as.High && len(c.active)+c.queuedJoins() < maxHosts:
+		c.enqueueFleet(FleetEvent{T: c.now.Add(as.JoinDelay), Kind: HostJoin, Host: -1})
+		c.lastScale, c.scaled = c.now, true
+	case pressure <= as.Low && len(c.active) > minHosts:
+		if n := c.idlestActive(); n != nil {
+			c.startDrain(n)
+			c.lastScale, c.scaled = c.now, true
+		}
+	}
+}
+
+// queuedJoins counts joins already in flight, so a sustained pressure
+// spike doesn't over-provision while provisioning delay runs.
+func (c *ShardedCluster) queuedJoins() int {
+	joins := 0
+	for _, ev := range c.fleetQ {
+		if ev.Kind == HostJoin {
+			joins++
+		}
+	}
+	return joins
+}
+
+// idlestActive returns the scale-down victim: fewest live instances,
+// tie to the highest ID.
+func (c *ShardedCluster) idlestActive() *Node {
+	var best *Node
+	bestLive := 0
+	for _, n := range c.active {
+		if live := n.LiveInstances(); best == nil || live <= bestLive {
+			best, bestLive = n, live
+		}
+	}
+	return best
+}
+
+// removeNode deletes n from the slice preserving order. The backing
+// array is rewritten in place — shard partitions copy the membership
+// slices, so no stale alias observes the shift.
+func removeNode(nodes []*Node, n *Node) []*Node {
+	for i, x := range nodes {
+		if x == n {
+			return append(nodes[:i], nodes[i+1:]...)
+		}
+	}
+	return nodes
+}
+
+type nodeState uint8
+
+const (
+	nodeActive nodeState = iota
+	nodeDraining
+	nodeDead
+)

@@ -50,9 +50,11 @@ type Invocation struct {
 // PlayConfig shapes one epoch-driven fleet run.
 type PlayConfig struct {
 	// Shards is the number of host partitions advanced as independent
-	// tasks; 0 or anything >= Hosts means one shard per host, 1 means
-	// the serial unsharded path. The shard count never changes
-	// results, only how much of the fleet a single task advances.
+	// tasks; 0 or anything >= the live host count means one shard per
+	// host, 1 means the serial unsharded path. The shard count never
+	// changes results, only how much of the fleet a single task
+	// advances. Membership changes re-partition the live hosts under
+	// the same requested count.
 	Shards int
 	// TickEvery is the fleet memory-sampling cadence (0 disables);
 	// samples are taken at 0, TickEvery, ... through TickUntil.
@@ -61,6 +63,15 @@ type PlayConfig struct {
 	// DrainUntil is the horizon every host runs to after the last
 	// boundary, so slow requests finish and their latencies count.
 	DrainUntil sim.Time
+	// Events is the churn schedule: fleet-shape changes fired at epoch
+	// boundaries on simulated time (fleetdyn.go). Events need not be
+	// sorted; same-time events fire in the given order. Events past
+	// DrainUntil never fire.
+	Events []FleetEvent
+	// Autoscale, when non-nil, drives host count from aggregate memory
+	// pressure, evaluated after each memory sample — so autoscaling
+	// requires TickEvery > 0.
+	Autoscale *AutoscaleConfig
 }
 
 // Play replays a time-sorted invocation stream through the dispatcher
@@ -68,25 +79,45 @@ type PlayConfig struct {
 // DrainUntil and the merged fleet metrics ready in Stats().
 func (c *ShardedCluster) Play(invs []Invocation, pc PlayConfig) {
 	c.prepareShards(pc.Shards)
+	c.autoscale = pc.Autoscale
+	c.ScheduleFleetEvents(pc.Events)
 	ticks := pc.TickEvery > 0
 	var nextTick sim.Time
 	i := 0
-	for i < len(invs) || (ticks && nextTick <= pc.TickUntil) {
-		// Next boundary: the earlier of the next invocation and the
-		// next tick.
-		var t sim.Time
-		switch {
-		case i < len(invs) && (!ticks || nextTick > pc.TickUntil || invs[i].T <= nextTick):
-			t = invs[i].T
-		default:
-			t = nextTick
+	for {
+		// Next boundary: the earliest of the next invocation, the next
+		// tick, and the next due fleet event.
+		t, have := sim.Time(0), false
+		consider := func(x sim.Time) {
+			if !have || x < t {
+				t, have = x, true
+			}
+		}
+		if i < len(invs) {
+			consider(invs[i].T)
+		}
+		if ticks && nextTick <= pc.TickUntil {
+			consider(nextTick)
+		}
+		if len(c.fleetQ) > 0 && c.fleetQ[0].T <= pc.DrainUntil {
+			ev := c.fleetQ[0].T
+			if ev < c.now {
+				ev = c.now // late-queued event fires at the next boundary
+			}
+			consider(ev)
+		}
+		if !have {
+			break
 		}
 		if t < c.now {
 			panic(fmt.Sprintf("cluster: invocation stream not sorted: %d after %d", t, c.now))
 		}
 		c.AdvanceTo(t)
-		// Canonical boundary order: invocations in trace order, then
-		// the memory sample.
+		// Canonical boundary order: finished drains retire, fleet
+		// events fire in queue order, invocations route in trace
+		// order, then the memory sample and the autoscaler.
+		c.settleDrains()
+		c.fireFleetEvents(t)
 		for i < len(invs) && invs[i].T == t {
 			c.Invoke(invs[i].Fn, nil)
 			i++
@@ -94,27 +125,53 @@ func (c *ShardedCluster) Play(invs []Invocation, pc PlayConfig) {
 		if ticks && nextTick == t && t <= pc.TickUntil {
 			c.SampleMemory()
 			nextTick += sim.Time(pc.TickEvery)
+			c.autoscaleTick()
 		}
 	}
 	c.Drain(pc.DrainUntil)
 }
 
-// prepareShards partitions the hosts into contiguous shard groups and
-// builds the per-shard advance and drain tasks once; the epoch loop
-// re-runs the same closures against a shared target time, so a run
-// allocates per shard, not per epoch.
+// prepareShards records the requested shard count, partitions the live
+// hosts into contiguous shard groups, and builds the per-shard advance
+// and drain tasks; the epoch loop re-runs the same closures against a
+// shared target time, so a run allocates per shard, not per epoch.
 func (c *ShardedCluster) prepareShards(shards int) {
-	if shards <= 0 || shards > len(c.Nodes) {
-		shards = len(c.Nodes)
+	c.shardsWanted = shards
+	c.partitionShards(false)
+}
+
+// reshard rebuilds the partition over the surviving live hosts after a
+// membership change, under the same requested shard count, keeping the
+// accumulated per-shard walls. Before any partition exists (churn
+// scheduled against a cluster that has not started playing) it is a
+// no-op; the first AdvanceTo partitions lazily.
+func (c *ShardedCluster) reshard() {
+	if c.shardTasks == nil {
+		return
 	}
+	c.partitionShards(true)
+}
+
+func (c *ShardedCluster) partitionShards(keepWalls bool) {
+	shards := c.shardsWanted
+	if shards <= 0 || shards > len(c.live) {
+		shards = len(c.live)
+	}
+	// Shard groups copy the membership slice: fleet-dynamics removals
+	// rewrite c.live's backing array in place, and a stale alias would
+	// advance the wrong hosts.
 	c.shardNodes = c.shardNodes[:0]
 	for s := 0; s < shards; s++ {
-		lo, hi := s*len(c.Nodes)/shards, (s+1)*len(c.Nodes)/shards
-		c.shardNodes = append(c.shardNodes, c.Nodes[lo:hi])
+		lo, hi := s*len(c.live)/shards, (s+1)*len(c.live)/shards
+		c.shardNodes = append(c.shardNodes, append([]*Node(nil), c.live[lo:hi]...))
 	}
 	c.shardTasks = make([]func(), shards)
 	c.drainTasks = make([]func(), shards)
-	c.shardWalls = make([]time.Duration, shards)
+	if !keepWalls {
+		c.shardWalls = make([]time.Duration, shards)
+	} else if len(c.shardWalls) < shards {
+		c.shardWalls = append(c.shardWalls, make([]time.Duration, shards-len(c.shardWalls))...)
+	}
 	for s := 0; s < shards; s++ {
 		s := s
 		grp := c.shardNodes[s]

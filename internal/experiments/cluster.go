@@ -33,6 +33,13 @@ type fleetCfg struct {
 	// selects one shard per host. Any value produces byte-identical
 	// tables — the knob exists for the determinism tests.
 	shards int
+
+	// Fleet dynamics (cluster-elastic): a churn schedule, an optional
+	// autoscaler, and phase bounds that split latency metrics at the
+	// churn instant. All nil/empty for the static experiments.
+	events    []cluster.FleetEvent
+	autoscale *cluster.AutoscaleConfig
+	phases    []sim.Time
 }
 
 // fleetStats is the measured outcome of one fleet run.
@@ -49,6 +56,16 @@ type fleetStats struct {
 	Unserved   int // still queued at the drain horizon (unbounded tail)
 	MemEff     float64
 	GiBs       float64
+
+	// Fleet-dynamics outcomes, populated when the run configures churn
+	// or phase bounds (zero otherwise). Pre/post split at the first
+	// phase bound — the churn instant.
+	Joins, Fails, Drains int
+	Replaced, WarmLost   int
+	ColdPre, ColdPost    int
+	ColdP99PreMs         float64
+	ColdP99PostMs        float64
+	LatP99PostMs         float64
 }
 
 // fleetRun replays a Zipf fleet trace against a sharded cluster and
@@ -65,6 +82,7 @@ func fleetRun(w *World, seed uint64, fc fleetCfg) fleetStats {
 		Backend:      fc.backend,
 		N:            8,
 		KeepAlive:    45 * sim.Second,
+		PhaseBounds:  fc.phases,
 	}, cluster.NewPolicy(fc.policy, cost))
 
 	fleet := workload.Fleet(fc.funcs)
@@ -93,12 +111,14 @@ func fleetRun(w *World, seed uint64, fc fleetCfg) fleetStats {
 		TickEvery:  sim.Second,
 		TickUntil:  sim.Time(fc.duration),
 		DrainUntil: sim.Time(10 * fc.duration),
+		Events:     fc.events,
+		Autoscale:  fc.autoscale,
 	})
 	w.NoteShardWalls(c.ShardWalls())
 
 	m := c.Stats()
 	served := m.ColdStarts + m.WarmStarts + m.Dropped + m.AdmissionDrops
-	return fleetStats{
+	fs := fleetStats{
 		VMs:        c.VMCount(),
 		Invoked:    m.Invocations,
 		Cold:       m.ColdStarts,
@@ -111,7 +131,19 @@ func fleetRun(w *World, seed uint64, fc fleetCfg) fleetStats {
 		Unserved:   m.Invocations - served,
 		MemEff:     c.MemoryEfficiency(),
 		GiBs:       c.CommittedGiBs(),
+		Joins:      m.HostJoins,
+		Fails:      m.HostFails,
+		Drains:     m.HostDrains,
+		Replaced:   m.Replaced,
+		WarmLost:   m.WarmLost,
 	}
+	if m.ColdPhase != nil && m.ColdPhase.Phases() >= 2 {
+		pre, post := m.ColdPhase.Phase(0), m.ColdPhase.Phase(1)
+		fs.ColdPre, fs.ColdPost = pre.N(), post.N()
+		fs.ColdP99PreMs, fs.ColdP99PostMs = pre.P99(), post.P99()
+		fs.LatP99PostMs = m.LatPhase.Phase(1).P99()
+	}
+	return fs
 }
 
 // fleetScale returns the shared workload scale: quick shrinks the

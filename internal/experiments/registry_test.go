@@ -16,6 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig10", "fig11", "pluglat",
 		"abl-batching", "abl-zeroing", "abl-policy", "abl-partition",
 		"cluster-policies", "cluster-scale", "cluster-overcommit",
+		"cluster-elastic",
 	}
 	for _, n := range want {
 		if _, ok := Get(n); !ok {

@@ -231,3 +231,13 @@ func (r *Runtime) LiveInstances() int {
 	}
 	return n
 }
+
+// IdleInstances sums idle (warm, not serving) instances across VMs —
+// the warm pool a host failure destroys.
+func (r *Runtime) IdleInstances() int {
+	n := 0
+	for _, fv := range r.VMs {
+		n += fv.IdleInstances()
+	}
+	return n
+}

@@ -307,6 +307,23 @@ func (s *Scheduler) RunUntil(t Time) {
 // RunFor runs the simulation for d nanoseconds of virtual time.
 func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
 
+// Jump advances the clock to exactly t without firing anything. It is
+// the host-join primitive of the fleet dynamics layer: a freshly built
+// scheduler starts at time zero, and a host joining a fleet mid-run
+// must land on the fleet's epoch boundary before any work is routed to
+// it. Jumping over pending work would silently drop it, so Jump panics
+// if any pending event is scheduled strictly before t; events at
+// exactly t stay pending, matching RunUntilEpoch's boundary semantics.
+func (s *Scheduler) Jump(t Time) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: jumping to %d before now %d", t, s.now))
+	}
+	if next, ok := s.NextEventTime(); ok && next < t {
+		panic(fmt.Sprintf("sim: jump to %d over pending event at %d", t, next))
+	}
+	s.now = t
+}
+
 // RunUntilEpoch fires all events with timestamps strictly before t,
 // then advances the clock to exactly t. Events scheduled at t itself
 // stay pending and fire on the next run call, after anything a caller

@@ -502,3 +502,37 @@ func TestRunUntilEpochZeroAndIdle(t *testing.T) {
 		t.Fatal("event at 42 did not fire when advancing past it")
 	}
 }
+
+// TestJump covers the host-join primitive: a fresh scheduler must be
+// able to land on the fleet clock without replaying history, and the
+// guard rails must reject any jump that would skip pending work.
+func TestJump(t *testing.T) {
+	s := NewScheduler()
+	s.Jump(100)
+	if s.Now() != 100 {
+		t.Fatalf("clock = %d after Jump(100)", s.Now())
+	}
+	s.Jump(100) // same-time jump is a no-op, not an error
+	fired := false
+	s.At(200, func() { fired = true })
+	s.Jump(200) // jumping exactly onto a pending event is legal...
+	if fired {
+		t.Fatal("Jump must not fire events")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Jump over a pending event did not panic")
+			}
+		}()
+		s.Jump(201) // ...but jumping past it would lose it
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("backwards Jump did not panic")
+			}
+		}()
+		s.Jump(50)
+	}()
+}

@@ -167,6 +167,81 @@ func (s *Sample) ensureSorted() {
 	s.nsorted = len(s.xs)
 }
 
+// PhasedSample partitions timestamped observations into phases split
+// at fixed time bounds, keeping one Sample per phase. It is the
+// tail-metric container for runs with a distinguished event in the
+// middle — a host failure, a drain — where the question is not the
+// whole-run percentile but the percentile *after* the event (the
+// cold-start storm) versus before it. Phase i covers
+// [bounds[i-1], bounds[i]); observations at or past the last bound
+// land in the final phase.
+type PhasedSample struct {
+	bounds []float64
+	phases []*Sample
+}
+
+// NewPhased builds a phased sample with len(bounds)+1 phases. Bounds
+// must be strictly ascending; NewPhased panics otherwise, because a
+// misordered phase split silently misfiles every observation.
+func NewPhased(bounds ...float64) *PhasedSample {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("stats: phase bounds not ascending: %v", bounds))
+		}
+	}
+	p := &PhasedSample{bounds: append([]float64(nil), bounds...)}
+	for i := 0; i <= len(bounds); i++ {
+		p.phases = append(p.phases, &Sample{})
+	}
+	return p
+}
+
+// Add files the observation v, timestamped t, into its phase.
+func (p *PhasedSample) Add(t, v float64) {
+	p.phases[p.phaseOf(t)].Add(v)
+}
+
+func (p *PhasedSample) phaseOf(t float64) int {
+	for i, b := range p.bounds {
+		if t < b {
+			return i
+		}
+	}
+	return len(p.bounds)
+}
+
+// Phases returns the number of phases (bounds + 1).
+func (p *PhasedSample) Phases() int { return len(p.phases) }
+
+// Phase returns the sample of phase i.
+func (p *PhasedSample) Phase(i int) *Sample { return p.phases[i] }
+
+// Merge adds every observation of o into the matching phase of p. Both
+// samples must have identical bounds — per-shard phased samples are
+// built from one shared configuration — and Merge panics otherwise.
+// Like Sample.Merge, the result depends only on the combined multiset
+// per phase, so merging in any fixed order is order-insensitive.
+func (p *PhasedSample) Merge(o *PhasedSample) {
+	if len(o.bounds) != len(p.bounds) {
+		panic("stats: merging phased samples with different bounds")
+	}
+	for i, b := range o.bounds {
+		if b != p.bounds[i] {
+			panic("stats: merging phased samples with different bounds")
+		}
+	}
+	for i, s := range o.phases {
+		p.phases[i].Merge(s)
+	}
+}
+
+// Reset empties every phase while keeping bounds and buffers.
+func (p *PhasedSample) Reset() {
+	for _, s := range p.phases {
+		s.Reset()
+	}
+}
+
 // Geomean returns the geometric mean of xs. Non-positive values and an
 // empty slice yield 0, matching the "undefined" convention used when a
 // speedup table contains a zero entry.

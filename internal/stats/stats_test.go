@@ -257,3 +257,57 @@ func TestTimeSeriesReserve(t *testing.T) {
 		t.Fatalf("Len = %d", ts.Len())
 	}
 }
+
+// TestPhasedSample checks the time-split sample used to separate
+// pre-churn from post-churn latency: observations route to the phase
+// their timestamp falls in, Merge is per-phase, and mismatched bounds
+// are a programming error.
+func TestPhasedSample(t *testing.T) {
+	p := NewPhased(10, 20)
+	if p.Phases() != 3 {
+		t.Fatalf("Phases = %d, want 3", p.Phases())
+	}
+	p.Add(5, 100)  // phase 0: t < 10
+	p.Add(10, 200) // phase 1: bound belongs to the later phase
+	p.Add(15, 300) // phase 1
+	p.Add(25, 400) // phase 2
+	for i, wantN := range []int{1, 2, 1} {
+		if got := p.Phase(i).N(); got != wantN {
+			t.Fatalf("phase %d N = %d, want %d", i, got, wantN)
+		}
+	}
+	if got := p.Phase(1).Max(); got != 300 {
+		t.Fatalf("phase 1 max = %v, want 300", got)
+	}
+
+	q := NewPhased(10, 20)
+	q.Add(3, 50)
+	p.Merge(q)
+	if got := p.Phase(0).N(); got != 2 {
+		t.Fatalf("merged phase 0 N = %d, want 2", got)
+	}
+
+	p.Reset()
+	for i := 0; i < p.Phases(); i++ {
+		if p.Phase(i).N() != 0 {
+			t.Fatalf("phase %d not empty after Reset", i)
+		}
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Merge with mismatched bounds did not panic")
+			}
+		}()
+		p.Merge(NewPhased(10, 30))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("non-ascending bounds did not panic")
+			}
+		}()
+		NewPhased(20, 10)
+	}()
+}

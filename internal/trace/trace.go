@@ -192,6 +192,65 @@ func fleetSeed(seed, i uint64) uint64 {
 	return x
 }
 
+// ChurnKind classifies one fleet-shape change in a churn profile.
+type ChurnKind int
+
+// Churn event kinds, mirrored by the cluster layer's FleetEvent kinds.
+const (
+	// ChurnJoin adds a host to the fleet.
+	ChurnJoin ChurnKind = iota
+	// ChurnFail kills a host abruptly: warm pool lost, in-flight
+	// invocations re-placed.
+	ChurnFail
+	// ChurnDrain removes a host gracefully: no new placements, running
+	// work finishes (or is re-placed at the drain deadline).
+	ChurnDrain
+)
+
+// ChurnEvent is one scheduled fleet-shape change.
+type ChurnEvent struct {
+	T    sim.Time
+	Kind ChurnKind
+	// Host targets a specific host ID; -1 lets the fleet pick the
+	// busiest live host at event time (the worst-case victim).
+	Host int
+}
+
+// ChurnConfig parameterizes the fuzzed churn-profile generator.
+type ChurnConfig struct {
+	// Duration bounds event times: events land in (0, Duration).
+	Duration sim.Duration
+	// Events is the number of churn events to generate.
+	Events int
+	// Hosts is the fleet's initial host count; targeted events pick IDs
+	// in [0, 2*Hosts) so some deliberately name hosts that are already
+	// gone or never existed (the fleet must treat those as no-ops).
+	Hosts int
+}
+
+// GenChurn synthesizes a random churn schedule — join, fail, and drain
+// events at uniform times, half targeting the busiest host (-1) and
+// half targeting explicit (possibly dangling) IDs. The same seed always
+// yields the same schedule; the determinism property tests fuzz fleet
+// runs with these schedules across seeds.
+func GenChurn(seed uint64, cfg ChurnConfig) []ChurnEvent {
+	rng := rand.New(rand.NewPCG(seed, 0xc4123))
+	events := make([]ChurnEvent, 0, cfg.Events)
+	for i := 0; i < cfg.Events; i++ {
+		ev := ChurnEvent{
+			T:    sim.Time(1 + rng.Int64N(int64(cfg.Duration)-1)),
+			Kind: ChurnKind(rng.IntN(3)),
+			Host: -1,
+		}
+		if rng.IntN(2) == 0 && cfg.Hosts > 0 {
+			ev.Host = rng.IntN(2 * cfg.Hosts)
+		}
+		events = append(events, ev)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].T < events[j].T })
+	return events
+}
+
 // Merge combines traces into one sorted stream, tagging each invocation
 // with its source index.
 type TaggedInvocation struct {

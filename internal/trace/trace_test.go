@@ -238,3 +238,53 @@ func TestGenFleetEmptyAndDefaults(t *testing.T) {
 		t.Fatalf("aggregate invocations = %d, want ~720", total)
 	}
 }
+
+// TestGenChurn pins the properties the churn fuzzer relies on: the
+// schedule is a pure function of its seed, sorted by time, strictly
+// inside the trace window, and mixes targeted hosts (including
+// deliberately dangling IDs) with "busiest" (-1) wildcards.
+func TestGenChurn(t *testing.T) {
+	cfg := ChurnConfig{Duration: 30 * sim.Second, Events: 40, Hosts: 4}
+	a := GenChurn(7, cfg)
+	b := GenChurn(7, cfg)
+	if len(a) != cfg.Events || len(b) != cfg.Events {
+		t.Fatalf("lengths %d/%d, want %d", len(a), len(b), cfg.Events)
+	}
+	targeted, wildcard := 0, 0
+	for i, ev := range a {
+		if ev != b[i] {
+			t.Fatalf("event %d differs across same-seed runs: %+v vs %+v", i, ev, b[i])
+		}
+		if i > 0 && ev.T < a[i-1].T {
+			t.Fatalf("events not sorted: %d then %d", a[i-1].T, ev.T)
+		}
+		if ev.T <= 0 || ev.T >= sim.Time(cfg.Duration) {
+			t.Fatalf("event %d at %d outside (0, %d)", i, ev.T, cfg.Duration)
+		}
+		if ev.Kind != ChurnJoin && ev.Kind != ChurnFail && ev.Kind != ChurnDrain {
+			t.Fatalf("event %d has kind %d", i, ev.Kind)
+		}
+		if ev.Host == -1 {
+			wildcard++
+		} else if ev.Host >= 0 && ev.Host < 2*cfg.Hosts {
+			targeted++
+		} else {
+			t.Fatalf("event %d targets host %d outside [0, %d)", i, ev.Host, 2*cfg.Hosts)
+		}
+	}
+	if targeted == 0 || wildcard == 0 {
+		t.Fatalf("no mix: %d targeted, %d wildcard", targeted, wildcard)
+	}
+	if c := GenChurn(8, cfg); len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical churn schedules")
+		}
+	}
+}

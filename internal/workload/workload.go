@@ -105,6 +105,21 @@ func Fleet(n int) []*Function {
 	return fleet
 }
 
+// LongHaul returns a synthetic long-running function whose warm
+// execution outlasts costmodel.ReclaimDrainTimeout. Drain-deadline
+// tests need an invocation that is still running when a draining
+// host's grace period expires, and every Table-1 profile finishes in
+// well under a second warm.
+func LongHaul() *Function {
+	return &Function{
+		Name: "LongHaul", CPUShares: 1.0, MemoryLimit: 768 * units.MiB,
+		AnonBytes: 330 * units.MiB, FileSharedBytes: 330 * units.MiB, FilePrivateBytes: 50 * units.MiB,
+		ContainerInitCPU: 450 * sim.Millisecond, FuncInitCPU: 800 * sim.Millisecond, ExecCPU: 12 * sim.Second,
+		WarmExecCPU:  8 * sim.Second,
+		GuestOSBytes: 180 * units.MiB,
+	}
+}
+
 // ByName returns the Table 1 function with the given name.
 func ByName(name string) *Function {
 	for _, f := range Functions() {

@@ -146,3 +146,25 @@ func TestMemhogOversubscription(t *testing.T) {
 		t.Fatal("warmup should fail in a 256 MiB zone")
 	}
 }
+
+// TestLongHaulOutlivesDrainTimeout pins the contract the drain-deadline
+// tests rely on: a warm LongHaul invocation is still running when a
+// draining host's grace period (costmodel.ReclaimDrainTimeout) expires,
+// while every Table-1 profile finishes well inside it.
+func TestLongHaulOutlivesDrainTimeout(t *testing.T) {
+	lh := LongHaul()
+	if lh.WarmExecCPU <= sim.Duration(costmodel.ReclaimDrainTimeout) {
+		t.Fatalf("WarmExecCPU %v must exceed drain timeout %v", lh.WarmExecCPU, costmodel.ReclaimDrainTimeout)
+	}
+	if lh.ExecCPU <= lh.WarmExecCPU {
+		t.Fatalf("cold ExecCPU %v must exceed warm %v", lh.ExecCPU, lh.WarmExecCPU)
+	}
+	if lh.MemoryLimit <= 0 || lh.AnonBytes+lh.FileSharedBytes+lh.FilePrivateBytes > lh.MemoryLimit {
+		t.Fatalf("footprint exceeds MemoryLimit %d", lh.MemoryLimit)
+	}
+	for _, f := range Functions() {
+		if f.WarmExecCPU >= sim.Duration(costmodel.ReclaimDrainTimeout) {
+			t.Fatalf("Table-1 profile %s warm exec %v breaks the drain-settles tests", f.Name, f.WarmExecCPU)
+		}
+	}
+}
