@@ -29,7 +29,18 @@
 //	             run (cells are the executor's scheduling unit; sharded
 //	             fleet cells additionally break down into per-shard
 //	             walls, whose slowest shard bounds the parallel wall
-//	             clock)
+//	             clock); -cellstats=json emits the same numbers plus
+//	             the parallel-floor rule as JSON on stderr
+//	-simtrace FILE  record a simulation trace and write it as Chrome
+//	             trace-event JSON (open at https://ui.perfetto.dev): one
+//	             process per cell with a fleet/dispatcher track and one
+//	             track per host on simulated time, plus a wall-clock
+//	             runner process with the executor's cell spans. Tracing
+//	             never changes results; tables stay byte-identical.
+//	-metrics FILE   dump each traced cell's counter registry (cold
+//	             starts, warm hits by tier, re-placements, pages
+//	             reclaimed/stranded per backend, autoscaler actions) as
+//	             JSON
 //	-cpuprofile FILE  write a pprof CPU profile of the run to FILE
 //	-memprofile FILE  write a pprof heap profile at exit to FILE
 package main
@@ -48,30 +59,31 @@ import (
 	"time"
 
 	"squeezy/internal/experiments"
+	"squeezy/internal/obs"
 )
 
-// cellFloor is a cell's contribution to the batch's parallel
-// wall-clock floor. A plain cell contributes its whole wall. A sharded
-// cell's shard advances parallelize, but its dispatcher step — routing
-// between epochs — stays serial, so the critical-path bound is the
-// serial remainder (wall minus all shard work) plus the slowest shard.
-func cellFloor(s experiments.CellStat) time.Duration {
-	if len(s.ShardWalls) == 0 {
-		return s.Wall
+// cellStatsFlag is the tri-state -cellstats value: "" (off), "text"
+// (bare -cellstats), or "json" (-cellstats=json).
+type cellStatsFlag struct{ mode string }
+
+func (f *cellStatsFlag) String() string { return f.mode }
+
+func (f *cellStatsFlag) Set(v string) error {
+	switch v {
+	case "true", "text":
+		f.mode = "text"
+	case "false", "":
+		f.mode = ""
+	case "json":
+		f.mode = "json"
+	default:
+		return fmt.Errorf("want -cellstats, -cellstats=text, or -cellstats=json")
 	}
-	var slowest, sum time.Duration
-	for _, sw := range s.ShardWalls {
-		sum += sw
-		if sw > slowest {
-			slowest = sw
-		}
-	}
-	floor := s.Wall - sum + slowest
-	if floor < slowest {
-		floor = slowest
-	}
-	return floor
+	return nil
 }
+
+// IsBoolFlag lets a bare -cellstats (no value) select text mode.
+func (f *cellStatsFlag) IsBoolFlag() bool { return true }
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
@@ -81,7 +93,10 @@ func main() {
 	maxWorldMem := flag.String("maxworldmem", "", "memory budget for -parallel 0 worker sizing, e.g. 4GiB (default: available memory; 0 = no cap)")
 	format := flag.String("format", "text", "output format: text, json, or csv")
 	outPath := flag.String("o", "", "write output to this file instead of stdout")
-	cellStats := flag.Bool("cellstats", false, "print per-cell wall-clock timings to stderr")
+	var cellStats cellStatsFlag
+	flag.Var(&cellStats, "cellstats", "print per-cell wall-clock timings to stderr (=json for machine-readable)")
+	simTrace := flag.String("simtrace", "", "write a Chrome/Perfetto trace-event JSON of the run to this file")
+	metricsPath := flag.String("metrics", "", "write the per-cell counter registries as JSON to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Usage = usage
@@ -191,10 +206,21 @@ func main() {
 		workers = experiments.AutoWorkers(budget)
 	}
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	var sink *obs.Sink
+	if *simTrace != "" || *metricsPath != "" {
+		sink = &obs.Sink{}
+	}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Obs: sink}
 	reports, stats, err := experiments.RunWithCellStats(names, opts, *trials, workers)
-	if *cellStats && err == nil {
-		printCellStats(os.Stderr, stats)
+	if err == nil {
+		switch cellStats.mode {
+		case "text":
+			printCellStats(os.Stderr, stats)
+		case "json":
+			if jerr := experiments.EncodeCellStatsJSON(os.Stderr, stats); jerr != nil {
+				fmt.Fprintln(os.Stderr, "squeezyctl:", jerr)
+			}
+		}
 	}
 
 	var profErr error
@@ -241,12 +267,59 @@ func main() {
 		fmt.Fprintln(os.Stderr, "squeezyctl:", err)
 		os.Exit(1)
 	}
-	// Results are safely written; only now may a profiling failure
-	// surface as the exit status.
+	// Tables are safely written; trace and metrics files follow so a
+	// broken -simtrace path cannot cost the results.
+	if err := writeObsFiles(sink, *simTrace, *metricsPath, stats); err != nil {
+		fmt.Fprintln(os.Stderr, "squeezyctl:", err)
+		os.Exit(1)
+	}
+	// Only now may a profiling failure surface as the exit status.
 	if profErr != nil {
 		fmt.Fprintln(os.Stderr, "squeezyctl:", profErr)
 		os.Exit(1)
 	}
+}
+
+// writeObsFiles dumps the collected simulation traces as Chrome
+// trace-event JSON (-simtrace, with the runner's wall-clock spans on
+// their own track) and the counter registries (-metrics).
+func writeObsFiles(sink *obs.Sink, tracePath, metricsPath string, stats []experiments.CellStat) error {
+	if sink == nil {
+		return nil
+	}
+	traces := sink.Traces()
+	writeFile := func(path string, write func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		err = write(bw)
+		if ferr := bw.Flush(); err == nil {
+			err = ferr
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	if tracePath != "" {
+		err := writeFile(tracePath, func(w io.Writer) error {
+			return obs.WriteTrace(w, traces, experiments.RunnerSpans(stats))
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		err := writeFile(metricsPath, func(w io.Writer) error {
+			return obs.WriteMetrics(w, traces)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // parseMemBudget parses a -maxworldmem value: a byte count with an
@@ -307,7 +380,7 @@ func printCellStats(w io.Writer, stats []experiments.CellStat) {
 		// advance on other workers).
 		floor := time.Duration(0)
 		for _, s := range stats {
-			if f := cellFloor(s); f > floor {
+			if f := experiments.CellFloor(s); f > floor {
 				floor = f
 			}
 		}

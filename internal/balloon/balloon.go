@@ -2,6 +2,7 @@ package balloon
 
 import (
 	"squeezy/internal/guestos"
+	"squeezy/internal/obs"
 	"squeezy/internal/sim"
 	"squeezy/internal/stats"
 	"squeezy/internal/units"
@@ -26,6 +27,10 @@ type InflateResult struct {
 // Driver is the guest balloon driver of one VM.
 type Driver struct {
 	K *guestos.Kernel
+
+	// Obs, when non-nil, records a span per inflation and an instant per
+	// deflation; recording never alters the operation.
+	Obs *obs.Recorder
 
 	proc    *guestos.Process // owns the reserved pages
 	busy    bool
@@ -81,6 +86,7 @@ func (d *Driver) Inflate(bytes int64, onDone func(InflateResult)) {
 			{Pool: vm.HostThreads, Work: sim.Duration(got) * vm.Cost.VMExitPerPage, Class: HostClass, Label: vmm.StepVMExits},
 		}
 		vm.CountExit("balloon-inflate", got)
+		start := vm.Sched.Now()
 		vmm.RunChain(vm.Sched, steps, func(bd *stats.Breakdown, total sim.Duration) {
 			res := InflateResult{
 				RequestedBytes: bytes,
@@ -88,6 +94,12 @@ func (d *Driver) Inflate(bytes int64, onDone func(InflateResult)) {
 				ReleasedPages:  released,
 				Breakdown:      bd,
 				Latency:        total,
+			}
+			if d.Obs != nil {
+				d.Obs.Span("balloon/inflate", obs.CatMemory, start,
+					obs.I("requested_bytes", res.RequestedBytes),
+					obs.I("reclaimed_bytes", res.ReclaimedBytes),
+					obs.I("released_pages", res.ReleasedPages))
 			}
 			d.finish()
 			onDone(res)
@@ -98,5 +110,9 @@ func (d *Driver) Inflate(bytes int64, onDone func(InflateResult)) {
 // Deflate returns bytes of ballooned memory to the guest. The freed
 // pages are unbacked in the host until next touch.
 func (d *Driver) Deflate(bytes int64) int64 {
-	return d.K.FreeAnon(d.proc, bytes)
+	freed := d.K.FreeAnon(d.proc, bytes)
+	if d.Obs != nil {
+		d.Obs.Instant("balloon/deflate", obs.CatMemory, obs.I("freed_bytes", freed))
+	}
+	return freed
 }

@@ -7,6 +7,7 @@ import (
 	"squeezy/internal/costmodel"
 	"squeezy/internal/faas"
 	"squeezy/internal/hostmem"
+	"squeezy/internal/obs"
 	"squeezy/internal/sim"
 	"squeezy/internal/stats"
 	"squeezy/internal/units"
@@ -65,6 +66,10 @@ type Node struct {
 	// write host-local state only; the fleet view is merged from the
 	// per-host metrics in host-ID order (Stats).
 	M NodeMetrics
+	// Obs is the host's trace recorder (nil when tracing is off). Like M
+	// it is host-private: written only by whichever worker advances this
+	// host, merged in host-ID order at export.
+	Obs *obs.Recorder
 
 	vms     map[string]*faas.FuncVM
 	vmOrder []*faas.FuncVM // creation order, for deterministic iteration
@@ -86,9 +91,10 @@ type Node struct {
 // flight to a new host, and the recorded latency spans the original
 // arrival — lost work is paid, not hidden.
 type flight struct {
-	fn      *workload.Function
-	arrival sim.Time
-	onDone  func(faas.Result)
+	fn       *workload.Function
+	arrival  sim.Time
+	onDone   func(faas.Result)
+	replaced bool // re-placed after a host failure or drain expiry
 }
 
 // LiveInstances returns live (starting, busy, idle) instances on the
@@ -248,6 +254,13 @@ type ShardedCluster struct {
 	lastScale sim.Time // autoscaler cooldown anchor
 	scaled    bool     // an autoscaler action has happened this run
 
+	// Observability (internal/obs): obsT is the run's trace, fleetObs its
+	// fleet-level recorder written only by the serial dispatcher. Both are
+	// nil when tracing is off — the common case, which every call site
+	// guards so the disabled path costs one nil check.
+	obsT     *obs.Trace
+	fleetObs *obs.Recorder
+
 	// Epoch-engine state (shard.go).
 	shardsWanted int // requested shard count, reapplied on membership change
 	shardNodes   [][]*Node
@@ -353,6 +366,7 @@ func (c *ShardedCluster) Reset(cost *costmodel.Model, cfg Config, policy Policy)
 		n.M.reset()
 		n.M.initPhases(c.Cfg.PhaseBounds)
 		n.state = nodeActive
+		n.Obs = nil
 		clear(n.inflight) // drop stale *flight pointers
 		n.inflight = n.inflight[:0]
 		clear(n.vms)
@@ -365,6 +379,7 @@ func (c *ShardedCluster) Reset(cost *costmodel.Model, cfg Config, policy Policy)
 	c.active = append(c.active[:0], c.Nodes...)
 	c.live = append(c.live[:0], c.Nodes...)
 	c.fleetQ = c.fleetQ[:0]
+	c.obsT, c.fleetObs = nil, nil
 	c.autoscale = nil
 	c.lastScale, c.scaled = 0, false
 	c.shardsWanted = 0
@@ -393,6 +408,39 @@ func (c *ShardedCluster) Release() {
 // advanced to.
 func (c *ShardedCluster) Now() sim.Time { return c.now }
 
+// AttachObs enables tracing into t: the fleet track records dispatcher
+// decisions on the dispatcher clock, and every host (including ones
+// that join later) gets a host track on its private scheduler. Call
+// right after NewSharded/Reset, before the run; nil detaches. The
+// recorders only observe — no call site reads them back — so an
+// attached trace provably never perturbs the simulation.
+func (c *ShardedCluster) AttachObs(t *obs.Trace) {
+	c.obsT = t
+	if t == nil {
+		c.fleetObs = nil
+		for _, n := range c.Nodes {
+			n.Obs = nil
+			n.RT.Obs = nil
+		}
+		return
+	}
+	c.fleetObs = t.FleetTrack(c)
+	for _, n := range c.Nodes {
+		c.attachNodeObs(n)
+	}
+}
+
+// attachNodeObs binds host n to its track in the attached trace (no-op
+// when tracing is off). Runs serially: at attach time or at a join
+// boundary.
+func (c *ShardedCluster) attachNodeObs(n *Node) {
+	if c.obsT == nil {
+		return
+	}
+	n.Obs = c.obsT.HostTrack(n.ID, n.Sched)
+	n.RT.Obs = n.Obs
+}
+
 // Invoke routes one invocation of fn through the dispatcher, in three
 // tiers: (1) a host with a warm idle instance serves it immediately;
 // (2) otherwise the policy picks among hosts whose existing VM for fn
@@ -407,6 +455,9 @@ func (c *ShardedCluster) Now() sim.Time { return c.now }
 // are host-local events that play out when the hosts advance again.
 func (c *ShardedCluster) Invoke(fn *workload.Function, onDone func(faas.Result)) {
 	c.Metrics.Invocations++
+	if c.fleetObs != nil {
+		c.fleetObs.Count("invocations", 1)
+	}
 	c.route(&flight{fn: fn, arrival: c.now, onDone: onDone})
 }
 
@@ -414,26 +465,39 @@ func (c *ShardedCluster) Invoke(fn *workload.Function, onDone func(faas.Result))
 // host failure — through the dispatcher tiers, over the active hosts
 // only. It runs serially at an epoch boundary.
 func (c *ShardedCluster) route(fl *flight) {
+	tier := "warm"
 	target := c.warmNode(fl.fn)
 	if target == nil {
 		if cands := c.nodesWithSlack(fl.fn); len(cands) > 0 {
+			tier = "scale-up"
 			target = c.Policy.Pick(cands, fl.fn)
 		} else {
+			tier = "place"
 			target = c.Policy.Pick(c.active, fl.fn)
 		}
 	}
 	serving, fv := target, c.vmOn(target, fl.fn)
 	if fv == nil {
+		tier = "fallback"
 		serving, fv = c.fallbackVM(fl.fn)
 	}
 	if fv == nil {
 		// No host can even boot a VM for fn: admission-drop rather than
 		// panic the host model with an unbackable boot.
 		c.Metrics.AdmissionDrops++
+		if c.fleetObs != nil {
+			c.fleetObs.Count("admission_drops", 1)
+			c.fleetObs.Instant("admission-drop: "+fl.fn.Name, obs.CatInvoke)
+		}
 		if fl.onDone != nil {
 			fl.onDone(faas.Result{Fn: fl.fn, Arrival: fl.arrival, Done: c.now, Dropped: true})
 		}
 		return
+	}
+	if c.fleetObs != nil {
+		c.fleetObs.Count("dispatch/"+tier, 1)
+		c.fleetObs.Instant("dispatch/"+tier+": "+fl.fn.Name, obs.CatInvoke,
+			obs.I("host", int64(serving.ID)))
 	}
 	serving.inflight = append(serving.inflight, fl)
 	fv.Invoke(fl.fn, serving.complete(fl))
@@ -540,6 +604,10 @@ func (n *Node) complete(fl *flight) func(faas.Result) {
 		switch {
 		case res.Dropped:
 			m.Dropped++
+			if n.Obs != nil {
+				n.Obs.Count("dropped", 1)
+				n.Obs.Instant("drop: "+fl.fn.Name, obs.CatInvoke)
+			}
 		case res.Cold:
 			m.ColdStarts++
 			m.ColdLatMs.Add(lat.Milliseconds())
@@ -547,9 +615,25 @@ func (n *Node) complete(fl *flight) func(faas.Result) {
 			if m.ColdPhase != nil {
 				m.ColdPhase.Add(res.Done.Seconds(), lat.Milliseconds())
 			}
+			if n.Obs != nil {
+				n.Obs.Count("cold_starts", 1)
+				replaced := int64(0)
+				if fl.replaced {
+					replaced = 1
+				}
+				n.Obs.Instant("done-cold: "+fl.fn.Name, obs.CatInvoke,
+					obs.F("latency_ms", lat.Milliseconds()),
+					obs.F("mem_wait_ms", res.Phases.MemWait.Milliseconds()),
+					obs.I("replaced", replaced))
+			}
 		default:
 			m.WarmStarts++
 			m.WarmLatMs.Add(lat.Milliseconds())
+			if n.Obs != nil {
+				n.Obs.Count("warm_starts", 1)
+				n.Obs.Instant("done-warm: "+fl.fn.Name, obs.CatInvoke,
+					obs.F("latency_ms", lat.Milliseconds()))
+			}
 		}
 		if !res.Dropped && m.LatPhase != nil {
 			m.LatPhase.Add(res.Done.Seconds(), lat.Milliseconds())
@@ -615,8 +699,14 @@ func (c *ShardedCluster) SampleMemory() {
 		populated += n.Host.PopulatedPages()
 	}
 	t := c.now.Seconds()
-	c.Metrics.Committed.Append(t, float64(units.PagesToBytes(committed))/float64(units.GiB))
-	c.Metrics.Populated.Append(t, float64(units.PagesToBytes(populated))/float64(units.GiB))
+	committedGiB := float64(units.PagesToBytes(committed)) / float64(units.GiB)
+	populatedGiB := float64(units.PagesToBytes(populated)) / float64(units.GiB)
+	c.Metrics.Committed.Append(t, committedGiB)
+	c.Metrics.Populated.Append(t, populatedGiB)
+	if c.fleetObs != nil {
+		c.fleetObs.Gauge("mem/committed_gib", obs.CatMemory, committedGiB)
+		c.fleetObs.Gauge("mem/populated_gib", obs.CatMemory, populatedGiB)
+	}
 }
 
 // MemoryEfficiency returns the time-averaged fraction of committed host

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"squeezy/internal/costmodel"
+	"squeezy/internal/obs"
 	"squeezy/internal/sim"
 	"squeezy/internal/units"
 )
@@ -177,6 +178,12 @@ func (c *ShardedCluster) joinHost() *Node {
 	c.active = append(c.active, n)
 	c.live = append(c.live, n)
 	c.Metrics.HostJoins++
+	c.attachNodeObs(n)
+	if c.fleetObs != nil {
+		c.fleetObs.Count("fleet/joins", 1)
+		c.fleetObs.Instant("host-join", obs.CatFleet,
+			obs.I("host", int64(n.ID)), obs.I("active", int64(len(c.active))))
+	}
 	c.reshard()
 	return n
 }
@@ -186,7 +193,15 @@ func (c *ShardedCluster) joinHost() *Node {
 // through the dispatcher in routing order, exactly once each.
 func (c *ShardedCluster) failHost(n *Node) {
 	c.Metrics.HostFails++
-	c.Metrics.WarmLost += n.RT.IdleInstances()
+	warmLost := n.RT.IdleInstances()
+	c.Metrics.WarmLost += warmLost
+	if c.fleetObs != nil {
+		c.fleetObs.Count("fleet/fails", 1)
+		c.fleetObs.Count("warm_lost", int64(warmLost))
+		c.fleetObs.Instant("host-fail", obs.CatFleet,
+			obs.I("host", int64(n.ID)), obs.I("warm_lost", int64(warmLost)),
+			obs.I("inflight", int64(len(n.inflight))))
+	}
 	c.retire(n)
 	c.replaceFlights(n)
 }
@@ -196,6 +211,11 @@ func (c *ShardedCluster) failHost(n *Node) {
 // completes (settleDrains) or the deadline fires (expireDrain).
 func (c *ShardedCluster) startDrain(n *Node) {
 	c.Metrics.HostDrains++
+	if c.fleetObs != nil {
+		c.fleetObs.Count("fleet/drains", 1)
+		c.fleetObs.Instant("host-drain", obs.CatFleet,
+			obs.I("host", int64(n.ID)), obs.I("inflight", int64(len(n.inflight))))
+	}
 	n.state = nodeDraining
 	c.active = removeNode(c.active, n)
 	c.enqueueFleet(FleetEvent{
@@ -208,6 +228,10 @@ func (c *ShardedCluster) startDrain(n *Node) {
 // completions can never fire, the retired host's scheduler is frozen —
 // and the host retires.
 func (c *ShardedCluster) expireDrain(n *Node) {
+	if c.fleetObs != nil {
+		c.fleetObs.Instant("drain-deadline", obs.CatFleet,
+			obs.I("host", int64(n.ID)), obs.I("stragglers", int64(len(n.inflight))))
+	}
 	c.retire(n)
 	c.replaceFlights(n)
 }
@@ -249,6 +273,12 @@ func (c *ShardedCluster) replaceFlights(n *Node) {
 	n.inflight = nil // ownership moves; the dead host drops its list
 	for _, fl := range flights {
 		c.Metrics.Replaced++
+		fl.replaced = true
+		if c.fleetObs != nil {
+			c.fleetObs.Count("replaced", 1)
+			c.fleetObs.Instant("replace: "+fl.fn.Name, obs.CatInvoke,
+				obs.I("from_host", int64(n.ID)))
+		}
 		c.route(fl)
 	}
 }
@@ -271,6 +301,9 @@ func (c *ShardedCluster) autoscaleTick() {
 	}
 	capacity := int64(len(c.active)) * units.BytesToPages(c.Cfg.HostMemBytes)
 	pressure := float64(committed) / float64(capacity)
+	if c.fleetObs != nil {
+		c.fleetObs.Gauge("autoscale/pressure", obs.CatFleet, pressure)
+	}
 
 	minHosts, maxHosts := as.MinHosts, as.MaxHosts
 	if minHosts < 1 {
@@ -283,10 +316,20 @@ func (c *ShardedCluster) autoscaleTick() {
 	case pressure >= as.High && len(c.active)+c.queuedJoins() < maxHosts:
 		c.enqueueFleet(FleetEvent{T: c.now.Add(as.JoinDelay), Kind: HostJoin, Host: -1})
 		c.lastScale, c.scaled = c.now, true
+		if c.fleetObs != nil {
+			c.fleetObs.Count("autoscale/up", 1)
+			c.fleetObs.Instant("autoscale/up", obs.CatFleet,
+				obs.F("pressure", pressure), obs.I("active", int64(len(c.active))))
+		}
 	case pressure <= as.Low && len(c.active) > minHosts:
 		if n := c.idlestActive(); n != nil {
 			c.startDrain(n)
 			c.lastScale, c.scaled = c.now, true
+			if c.fleetObs != nil {
+				c.fleetObs.Count("autoscale/down", 1)
+				c.fleetObs.Instant("autoscale/down", obs.CatFleet,
+					obs.F("pressure", pressure), obs.I("host", int64(n.ID)))
+			}
 		}
 	}
 }

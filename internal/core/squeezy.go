@@ -5,6 +5,7 @@ import (
 
 	"squeezy/internal/guestos"
 	"squeezy/internal/mem"
+	"squeezy/internal/obs"
 	"squeezy/internal/sim"
 	"squeezy/internal/stats"
 	"squeezy/internal/units"
@@ -84,6 +85,10 @@ type Config struct {
 type Manager struct {
 	K   *guestos.Kernel
 	Cfg Config
+
+	// Obs, when non-nil, records a span per plug/unplug command;
+	// recording never alters the command.
+	Obs *obs.Recorder
 
 	Shared *mem.Zone
 	parts  []*Partition
@@ -209,9 +214,14 @@ func (m *Manager) Plug(nParts int, onDone func(plugged int)) {
 		if len(plugged) > 0 {
 			vm.CountExit("squeezy-plug", 1)
 		}
+		start := vm.Sched.Now()
 		vmm.RunChain(vm.Sched, steps, func(_ *stats.Breakdown, _ sim.Duration) {
 			for _, p := range plugged {
 				p.state = PartFree
+			}
+			if m.Obs != nil {
+				m.Obs.Span("squeezy/plug", obs.CatMemory, start,
+					obs.I("partitions", int64(len(plugged))), obs.I("blocks", blocks))
 			}
 			m.finish()
 			m.wakeWaiters()
@@ -335,6 +345,7 @@ func (m *Manager) Unplug(nParts int, onDone func(UnplugResult)) {
 		vm.CountExit("squeezy-unplug", exits)
 		reclaimed := blocks * units.BlockSize
 		req := int64(nParts) * m.PartitionBlocks() * units.BlockSize
+		cmdStart := vm.Sched.Now()
 		vmm.RunChain(vm.Sched, steps, func(bd *stats.Breakdown, total sim.Duration) {
 			for _, p := range victims {
 				for i := 0; i < p.Zone.Blocks(); i++ {
@@ -342,6 +353,11 @@ func (m *Manager) Unplug(nParts int, onDone func(UnplugResult)) {
 					m.K.ReleaseRange(start, count)
 					vm.Uncommit(count)
 				}
+			}
+			if m.Obs != nil {
+				m.Obs.Span("squeezy/unplug", obs.CatMemory, cmdStart,
+					obs.I("requested_bytes", req), obs.I("reclaimed_bytes", reclaimed),
+					obs.I("blocks", blocks))
 			}
 			m.finish()
 			onDone(UnplugResult{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"squeezy/internal/obs"
 	"squeezy/internal/sim"
 )
 
@@ -16,6 +17,10 @@ type Options struct {
 	// smoke tests and -short benchmarks. Shapes still hold; absolute
 	// confidence intervals are looser.
 	Quick bool
+	// Obs, when non-nil, collects one simulation trace per cell
+	// (squeezyctl -simtrace / -metrics). Tracing observes only: reports
+	// and tables are byte-identical with it on or off.
+	Obs *obs.Sink
 }
 
 func (o Options) seed() uint64 {

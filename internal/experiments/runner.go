@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"squeezy/internal/obs"
 )
 
 // The runner executes a batch of experiments — optionally several
@@ -75,12 +77,42 @@ type CellStat struct {
 	Trial      int
 	Label      string
 	Wall       time.Duration
+	// Start is the offset from the batch's start to the cell's run
+	// start; Wait is how long the cell sat queued before that; Worker is
+	// the pool worker that ran it. Together they place the cell on the
+	// runner's wall-clock timeline (obs.RunnerSpan).
+	Start  time.Duration
+	Wait   time.Duration
+	Worker int
 	// ShardWalls is the per-shard wall-clock breakdown of a cell that
 	// decomposed into sub-cell shards (a sharded fleet run): entry i is
 	// the time shard i's advance tasks consumed, wherever they ran.
 	// With enough idle workers the cell's critical path is its slowest
 	// shard, not Wall.
 	ShardWalls []time.Duration
+}
+
+// CellFloor is a cell's contribution to the batch's parallel wall-clock
+// floor. A plain cell contributes its whole wall. A sharded cell's
+// shard advances parallelize, but its dispatcher step — routing between
+// epochs — stays serial, so the critical-path bound is the serial
+// remainder (wall minus all shard work) plus the slowest shard.
+func CellFloor(s CellStat) time.Duration {
+	if len(s.ShardWalls) == 0 {
+		return s.Wall
+	}
+	var slowest, sum time.Duration
+	for _, sw := range s.ShardWalls {
+		sum += sw
+		if sw > slowest {
+			slowest = sw
+		}
+	}
+	floor := s.Wall - sum + slowest
+	if floor < slowest {
+		floor = slowest
+	}
+	return floor
 }
 
 // Run executes each named experiment for the given number of trials on
@@ -105,6 +137,7 @@ type planRun struct {
 type cellUnit struct {
 	pr   *planRun
 	cell Cell
+	enq  time.Time // when the cell was published, for queue-wait stats
 }
 
 // subGroup tracks one World.Exec batch of sub-cell tasks; left is
@@ -159,7 +192,7 @@ func RunWithCellStats(names []string, opts Options, trials, workers int) ([]Repo
 		}
 	}
 
-	x := &executor{pending: len(runs)}
+	x := &executor{pending: len(runs), obsSink: opts.Obs, start: time.Now()}
 	x.cond = sync.NewCond(&x.mu)
 	for _, pr := range runs {
 		x.advance(pr)
@@ -167,12 +200,12 @@ func RunWithCellStats(names []string, opts Options, trials, workers int) ([]Repo
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
-		go func() {
+		go func(wk int) {
 			defer wg.Done()
 			w := newWorld()
 			w.par = x.par
-			x.work(w)
-		}()
+			x.work(w, wk)
+		}(wk)
 	}
 	wg.Wait()
 	return reports, x.stats, nil
@@ -194,6 +227,9 @@ type executor struct {
 	subq    []subUnit
 	pending int // reports not yet assembled
 	stats   []CellStat
+
+	obsSink *obs.Sink // per-cell trace collection; nil when tracing is off
+	start   time.Time // batch start, the zero of CellStat.Start
 }
 
 // par is World.Exec's pooled implementation: publish the batch on the
@@ -253,10 +289,11 @@ func (x *executor) finishSub(u subUnit) {
 func (x *executor) advance(pr *planRun) {
 	for {
 		if len(pr.stage.Cells) > 0 {
+			now := time.Now()
 			x.mu.Lock()
 			pr.left = len(pr.stage.Cells)
 			for _, c := range pr.stage.Cells {
-				x.queue = append(x.queue, cellUnit{pr: pr, cell: c})
+				x.queue = append(x.queue, cellUnit{pr: pr, cell: c, enq: now})
 			}
 			x.cond.Broadcast()
 			x.mu.Unlock()
@@ -284,7 +321,7 @@ func (x *executor) advance(pr *planRun) {
 // available (it is on a running cell's critical path), else pop a
 // cell, simulate it on the pooled world, and on the stage's last cell
 // advance the report to its next stage (or assemble it).
-func (x *executor) work(w *World) {
+func (x *executor) work(w *World, wk int) {
 	for {
 		x.mu.Lock()
 		for len(x.subq) == 0 && len(x.queue) == 0 && x.pending > 0 {
@@ -310,6 +347,7 @@ func (x *executor) work(w *World) {
 		x.mu.Unlock()
 
 		w.begin()
+		w.beginObs(x.obsSink, u.pr.report.Experiment, u.pr.report.Trial, u.cell.Label)
 		start := time.Now()
 		u.cell.Run(w)
 		wall := time.Since(start)
@@ -323,6 +361,9 @@ func (x *executor) work(w *World) {
 			Trial:      u.pr.report.Trial,
 			Label:      u.cell.Label,
 			Wall:       wall,
+			Start:      start.Sub(x.start),
+			Wait:       start.Sub(u.enq),
+			Worker:     wk,
 			ShardWalls: shardWalls,
 		})
 		u.pr.left--
@@ -374,6 +415,88 @@ func EncodeJSON(w io.Writer, reports []Report) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(reports)
+}
+
+// cellStatJSON is the machine-readable form of one CellStat
+// (`squeezyctl -cellstats=json`). Durations are milliseconds.
+type cellStatJSON struct {
+	Experiment  string    `json:"experiment"`
+	Trial       int       `json:"trial"`
+	Cell        string    `json:"cell"`
+	WallMs      float64   `json:"wall_ms"`
+	StartMs     float64   `json:"start_ms"`
+	WaitMs      float64   `json:"wait_ms"`
+	Worker      int       `json:"worker"`
+	ShardWallMs []float64 `json:"shard_walls_ms,omitempty"`
+	FloorMs     float64   `json:"floor_ms"`
+}
+
+// cellStatsDoc is the `-cellstats=json` document: the per-cell walls
+// plus the batch-level floor rule, so bench scripts read the numbers
+// the text mode prints to stderr without scraping it.
+type cellStatsDoc struct {
+	Cells []cellStatJSON `json:"cells"`
+	// SummedWallMs is total cell wall time (== CPU time only when
+	// workers <= cores).
+	SummedWallMs float64 `json:"summed_wall_ms"`
+	// SlowestCellMs is the wall of the slowest single cell.
+	SlowestCellMs float64 `json:"slowest_cell_ms"`
+	// ParallelFloorMs is max over cells of CellFloor: serial dispatch
+	// remainder plus the slowest shard of the worst cell — the parallel
+	// wall-clock floor when workers <= cores.
+	ParallelFloorMs float64 `json:"parallel_floor_ms"`
+}
+
+// EncodeCellStatsJSON writes the cell timings and the floor rule as
+// indented JSON, cells in execution-completion order.
+func EncodeCellStatsJSON(w io.Writer, stats []CellStat) error {
+	msf := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	doc := cellStatsDoc{Cells: make([]cellStatJSON, 0, len(stats))}
+	var summed, slowest, floor time.Duration
+	for _, s := range stats {
+		f := CellFloor(s)
+		summed += s.Wall
+		if s.Wall > slowest {
+			slowest = s.Wall
+		}
+		if f > floor {
+			floor = f
+		}
+		c := cellStatJSON{
+			Experiment: s.Experiment, Trial: s.Trial, Cell: s.Label,
+			WallMs: msf(s.Wall), StartMs: msf(s.Start), WaitMs: msf(s.Wait),
+			Worker: s.Worker, FloorMs: msf(f),
+		}
+		for _, sw := range s.ShardWalls {
+			c.ShardWallMs = append(c.ShardWallMs, msf(sw))
+		}
+		doc.Cells = append(doc.Cells, c)
+	}
+	doc.SummedWallMs = msf(summed)
+	doc.SlowestCellMs = msf(slowest)
+	doc.ParallelFloorMs = msf(floor)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// RunnerSpans converts the cell timings into the exporter's wall-clock
+// runner spans, so `-simtrace` files carry the executor's own timeline
+// (queue wait vs run, per worker) next to the simulated-time tracks.
+func RunnerSpans(stats []CellStat) []obs.RunnerSpan {
+	spans := make([]obs.RunnerSpan, 0, len(stats))
+	for _, s := range stats {
+		name := fmt.Sprintf("%s/%d", s.Experiment, s.Trial)
+		if s.Label != "" {
+			name += "/" + s.Label
+		}
+		spans = append(spans, obs.RunnerSpan{
+			Worker: s.Worker, Name: name,
+			Start: s.Start, Wait: s.Wait, Dur: s.Wall,
+			ShardWalls: s.ShardWalls,
+		})
+	}
+	return spans
 }
 
 // EncodeCSV writes all reports as one CSV stream. Each table

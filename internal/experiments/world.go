@@ -8,6 +8,7 @@ import (
 	"squeezy/internal/faas"
 	"squeezy/internal/guestos"
 	"squeezy/internal/hostmem"
+	"squeezy/internal/obs"
 	"squeezy/internal/sim"
 	"squeezy/internal/vmm"
 )
@@ -51,6 +52,16 @@ type World struct {
 	// cell reported via NoteShardWalls, if any; the executor drains it
 	// into the cell's CellStat.
 	shardWalls []time.Duration
+
+	// Observability: the executor hands each cell its identity and the
+	// run's sink via beginObs; Trace lazily creates the cell's trace,
+	// and endCell flushes a non-empty one into the sink. All nil when
+	// tracing is off.
+	obsSink  *obs.Sink
+	obsTrace *obs.Trace
+	obsExp   string
+	obsTrial int
+	obsLabel string
 }
 
 // newWorld returns a fresh world, ready for its first cell.
@@ -66,9 +77,37 @@ func (w *World) begin() {
 	w.shardWalls = nil
 }
 
+// beginObs sets the next cell's trace identity. A nil sink disables
+// tracing for the cell (Trace returns nil and every layer stays on its
+// free disabled path).
+func (w *World) beginObs(sink *obs.Sink, exp string, trial int, label string) {
+	w.obsSink = sink
+	w.obsTrace = nil
+	w.obsExp, w.obsTrial, w.obsLabel = exp, trial, label
+}
+
+// Trace returns the current cell's trace, creating it on first use; nil
+// when tracing is off. Cells that build their stack through the World
+// (Fleet, Runtime) are traced automatically; a cell wiring layers by
+// hand can AttachObs the trace itself.
+func (w *World) Trace() *obs.Trace {
+	if w.obsSink == nil {
+		return nil
+	}
+	if w.obsTrace == nil {
+		w.obsTrace = &obs.Trace{Experiment: w.obsExp, Trial: w.obsTrial, Label: w.obsLabel}
+	}
+	return w.obsTrace
+}
+
 // endCell releases the finished cell's kernels and VMs back into the
-// worker's pools so the next cell reuses their storage.
+// worker's pools so the next cell reuses their storage, and flushes a
+// non-empty trace into the run's sink.
 func (w *World) endCell() {
+	if w.obsTrace != nil && !w.obsTrace.Empty() {
+		w.obsSink.Add(w.obsTrace)
+	}
+	w.obsTrace = nil
 	for i, k := range w.kernels {
 		k.Release()
 		w.kernels[i] = nil
@@ -118,6 +157,9 @@ func (w *World) Kernel(vm *vmm.VM, cfg guestos.Config) *guestos.Kernel {
 func (w *World) Runtime(host *hostmem.Host, cost *costmodel.Model) *faas.Runtime {
 	rt := faas.NewRuntime(w.sched, host, cost)
 	rt.Recycle = w.rec
+	if tr := w.Trace(); tr != nil {
+		rt.Obs = tr.HostTrack(len(w.runtimes), w.sched)
+	}
 	w.runtimes = append(w.runtimes, rt)
 	return rt
 }
@@ -135,6 +177,7 @@ func (w *World) Fleet(cost *costmodel.Model, cfg cluster.Config, policy cluster.
 		w.fleet.Reset(cost, cfg, policy)
 	}
 	w.fleet.Exec = w.Exec
+	w.fleet.AttachObs(w.Trace())
 	return w.fleet
 }
 

@@ -10,6 +10,7 @@ import (
 	"squeezy/internal/cpu"
 	"squeezy/internal/guestos"
 	"squeezy/internal/hostmem"
+	"squeezy/internal/obs"
 	"squeezy/internal/sim"
 	"squeezy/internal/stats"
 	"squeezy/internal/units"
@@ -209,6 +210,9 @@ type FuncVM struct {
 
 	sq   *core.Manager
 	vmem *virtiomem.Driver
+	// obs records the host's cold-start phases and reclaim outcomes; nil
+	// when tracing is off (the common case — every use is nil-guarded).
+	obs *obs.Recorder
 
 	instBytes int64 // block-aligned per-instance memory
 	instances map[*Instance]struct{}
@@ -251,7 +255,7 @@ type FuncVM struct {
 
 // NewFuncVM boots an N:1 VM on the host with the configured backend.
 func NewFuncVM(sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model, broker *Broker, cfg VMConfig) *FuncVM {
-	return newFuncVM(nil, sched, host, cost, broker, cfg)
+	return newFuncVM(nil, sched, host, cost, broker, nil, cfg)
 }
 
 // newFuncVM is NewFuncVM with an optional recycler: the agent shell and
@@ -259,7 +263,7 @@ func NewFuncVM(sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model, 
 // arenas draw from the pool's guestos cache. Every observable field is
 // (re-)initialized here, so a recycled FuncVM is indistinguishable from
 // a fresh one.
-func newFuncVM(rec *Recycler, sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model, broker *Broker, cfg VMConfig) *FuncVM {
+func newFuncVM(rec *Recycler, sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model, broker *Broker, recorder *obs.Recorder, cfg VMConfig) *FuncVM {
 	if cfg.N <= 0 {
 		panic("faas: concurrency factor must be positive")
 	}
@@ -321,6 +325,7 @@ func newFuncVM(rec *Recycler, sched *sim.Scheduler, host *hostmem.Host, cost *co
 	fv.Sched = sched
 	fv.Broker = broker
 	fv.VM = vm
+	fv.obs = recorder
 	fv.instBytes = instBytes
 	fv.rng = rand.New(rand.NewPCG(h.Sum64(), 0x5a5a))
 	fv.recycle = rec
@@ -339,6 +344,7 @@ func newFuncVM(rec *Recycler, sched *sim.Scheduler, host *hostmem.Host, cost *co
 			Concurrency:    cfg.N,
 			SharedBytes:    sharedBytes,
 		})
+		fv.sq.Obs = recorder
 	default:
 		// Static, VirtioMem and Harvest back instances from
 		// ZONE_MOVABLE; the span covers N instances plus the shared
@@ -354,6 +360,7 @@ func newFuncVM(rec *Recycler, sched *sim.Scheduler, host *hostmem.Host, cost *co
 			fv.K.OnlineAllMovable()
 		} else {
 			fv.vmem = virtiomem.New(fv.K)
+			fv.vmem.Obs = recorder
 			// The shared page cache needs backing from the start.
 			fv.vmem.Plug(sharedBytes, func(plugged int64) {
 				if plugged < sharedBytes {
@@ -505,6 +512,10 @@ func (fv *FuncVM) acquireViaBroker(req *request) {
 		req.grant = g
 		req.granted = fv.Sched.Now()
 		req.memWaited = req.granted.Sub(req.arrival)
+		if fv.obs != nil && req.memWaited > 0 {
+			fv.obs.SpanAt("cold/memwait: "+req.fn.Name, obs.CatInvoke,
+				req.arrival, req.memWaited)
+		}
 		fv.startCold(req)
 	})
 	if !g.Granted() {
@@ -695,6 +706,9 @@ func (fv *FuncVM) runColdPhases(inst *Instance, req *request, phases Phases) {
 		Name: fn.Name + "/container", Class: "container", Weight: 1, Cap: 1,
 		OnDone: func() {
 			phases.ContainerInit = fv.Sched.Now().Sub(containerStart)
+			if fv.obs != nil {
+				fv.obs.Span("cold/container: "+fn.Name, obs.CatInvoke, containerStart)
+			}
 
 			// Function init: runtime + model heap.
 			initWork, ok := k.TouchAnon(inst.proc, fn.InitAnonBytes(), guestos.HugeOrder)
@@ -707,6 +721,9 @@ func (fv *FuncVM) runColdPhases(inst *Instance, req *request, phases Phases) {
 				Name: fn.Name + "/init", Class: "function", Weight: fn.CPUShares, Cap: maxf(fn.CPUShares, 0.1),
 				OnDone: func() {
 					phases.FuncInit = fv.Sched.Now().Sub(initStart)
+					if fv.obs != nil {
+						fv.obs.Span("cold/init: "+fn.Name, obs.CatInvoke, initStart)
+					}
 
 					// First execution.
 					execWork, ok := k.TouchAnon(inst.proc, fn.ExecAnonBytes(), guestos.HugeOrder)
@@ -719,6 +736,9 @@ func (fv *FuncVM) runColdPhases(inst *Instance, req *request, phases Phases) {
 						Name: fn.Name + "/exec", Class: "function", Weight: fn.CPUShares, Cap: maxf(fn.CPUShares, 0.1),
 						OnDone: func() {
 							phases.Exec = fv.Sched.Now().Sub(execStart)
+							if fv.obs != nil {
+								fv.obs.Span("cold/exec: "+fn.Name, obs.CatInvoke, execStart)
+							}
 							fv.ColdStarts++
 							fv.completeRequest(inst, req, true, phases)
 						},
@@ -849,6 +869,17 @@ func (fv *FuncVM) Evict(inst *Instance) {
 	inst.state = instEvicting
 	delete(fv.instances, inst)
 	fv.Evictions++
+	if fv.obs != nil {
+		// pressureNext is still unconsumed here (releaseInstanceMemory
+		// takes it below), so it tells keep-alive expiry apart from a
+		// runtime pressure eviction.
+		kind := "keepalive"
+		if fv.pressureNext {
+			kind = "pressure"
+		}
+		fv.obs.Count("evictions/"+kind, 1)
+		fv.obs.Instant("evict/"+kind+": "+inst.fn.Name, obs.CatMemory)
+	}
 	fv.K.Exit(inst.proc)
 	fv.releaseInstanceMemory()
 	fv.pump()
@@ -875,12 +906,12 @@ func (fv *FuncVM) releaseInstanceMemory() {
 	case Squeezy:
 		fv.unplugOrigins = append(fv.unplugOrigins, pressure)
 		fv.sq.Unplug(1, func(res core.UnplugResult) {
-			fv.recordReclaim(res.ReclaimedBytes, fv.Sched.Now().Sub(start))
+			fv.recordReclaim(res.ReclaimedBytes, res.RequestedBytes, fv.Sched.Now().Sub(start))
 		})
 	case VirtioMem:
 		fv.unplugOrigins = append(fv.unplugOrigins, pressure)
 		fv.vmem.Unplug(fv.instBytes, func(res virtiomem.UnplugResult) {
-			fv.recordReclaim(res.ReclaimedBytes, fv.Sched.Now().Sub(start))
+			fv.recordReclaim(res.ReclaimedBytes, res.RequestedBytes, fv.Sched.Now().Sub(start))
 		})
 	case Harvest:
 		if fv.harvestBuffer < fv.Cfg.HarvestBufferBytes {
@@ -892,7 +923,7 @@ func (fv *FuncVM) releaseInstanceMemory() {
 		}
 		fv.unplugOrigins = append(fv.unplugOrigins, pressure)
 		fv.vmem.Unplug(fv.instBytes, func(res virtiomem.UnplugResult) {
-			fv.recordReclaim(res.ReclaimedBytes, fv.Sched.Now().Sub(start))
+			fv.recordReclaim(res.ReclaimedBytes, res.RequestedBytes, fv.Sched.Now().Sub(start))
 		})
 	}
 }
@@ -912,15 +943,22 @@ func (fv *FuncVM) ReleaseHarvestBuffer(bytes int64) int64 {
 	// Buffer releases only happen on pressure response.
 	fv.unplugOrigins = append(fv.unplugOrigins, true)
 	fv.vmem.Unplug(take, func(res virtiomem.UnplugResult) {
-		fv.recordReclaim(res.ReclaimedBytes, fv.Sched.Now().Sub(start))
+		fv.recordReclaim(res.ReclaimedBytes, res.RequestedBytes, fv.Sched.Now().Sub(start))
 	})
 	return take
 }
 
-func (fv *FuncVM) recordReclaim(bytes int64, took sim.Duration) {
+func (fv *FuncVM) recordReclaim(bytes, requested int64, took sim.Duration) {
 	fv.ReclaimedBytes += bytes
 	fv.ReclaimTime += took
 	fv.ReclaimOps++
+	if fv.obs != nil {
+		kind := fv.Cfg.Kind.String()
+		fv.obs.Count("pages_reclaimed/"+kind, units.BytesToPages(bytes))
+		if stranded := units.BytesToPages(requested - bytes); stranded > 0 {
+			fv.obs.Count("pages_stranded/"+kind, stranded)
+		}
+	}
 	// Per-VM unplugs complete in issue order, so the oldest origin
 	// entry is this reclaim's. Only pressure-initiated reclaims retire
 	// the runtime's in-flight accounting — a keep-alive unplug landing

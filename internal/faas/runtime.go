@@ -3,6 +3,7 @@ package faas
 import (
 	"squeezy/internal/costmodel"
 	"squeezy/internal/hostmem"
+	"squeezy/internal/obs"
 	"squeezy/internal/sim"
 	"squeezy/internal/units"
 )
@@ -28,6 +29,11 @@ type Runtime struct {
 	// return to) its arena cache, and the FuncVM shells and inner
 	// vmm.VMs themselves are recycled through it.
 	Recycle *Recycler
+
+	// Obs, when non-nil, records the host's memory-mechanics events:
+	// pressure signals here, cold-start phases and reclaim detail in the
+	// VMs AddVM hands it to. Set it before the first AddVM.
+	Obs *obs.Recorder
 
 	reclaimInFlight int64         // pages expected from in-flight evictions
 	reclaimRecs     []*reclaimRec // outstanding evictions, oldest first
@@ -61,7 +67,7 @@ func (r *Runtime) AddVM(cfg VMConfig) *FuncVM {
 	if cfg.Recycle == nil && r.Recycle != nil {
 		cfg.Recycle = r.Recycle.Kernels
 	}
-	fv := newFuncVM(r.Recycle, r.Sched, r.Host, r.Cost, r.Broker, cfg)
+	fv := newFuncVM(r.Recycle, r.Sched, r.Host, r.Cost, r.Broker, r.Obs, cfg)
 	r.VMs = append(r.VMs, fv)
 	return fv
 }
@@ -82,6 +88,10 @@ func (r *Runtime) handlePressure(deficitPages int64) {
 	needed := deficitPages - r.reclaimInFlight
 	if needed <= 0 {
 		return
+	}
+	if r.Obs != nil {
+		r.Obs.Count("pressure_events", 1)
+		r.Obs.Instant("pressure", obs.CatMemory, obs.I("deficit_pages", needed))
 	}
 	target := int64(float64(needed) * r.ProactiveFactor)
 

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"squeezy/internal/guestos"
+	"squeezy/internal/obs"
 	"squeezy/internal/sim"
 	"squeezy/internal/stats"
 	"squeezy/internal/units"
@@ -48,6 +49,10 @@ type UnplugResult struct {
 type Driver struct {
 	K      *guestos.Kernel
 	Policy CandidatePolicy
+
+	// Obs, when non-nil, records a span per plug/unplug command with the
+	// migrate/zero page detail; recording never alters the command.
+	Obs *obs.Recorder
 
 	// pending serializes requests: the device processes one command at
 	// a time.
@@ -113,7 +118,12 @@ func (d *Driver) Plug(bytes int64, onDone func(plugged int64)) {
 			vm.CountExit("virtio-mem-plug", 1)
 		}
 		plugged := onlined * units.BlockSize
+		start := vm.Sched.Now()
 		vmm.RunChain(vm.Sched, steps, func(_ *stats.Breakdown, _ sim.Duration) {
+			if d.Obs != nil {
+				d.Obs.Span("virtio-mem/plug", obs.CatMemory, start,
+					obs.I("plugged_bytes", plugged), obs.I("blocks", onlined))
+			}
 			d.finish()
 			onDone(plugged)
 		})
@@ -211,6 +221,7 @@ func (d *Driver) unplug(bytes int64, onDone func(UnplugResult)) {
 
 	reclaimed := int64(len(offlined)) * units.BlockSize
 	blocks := append([]int(nil), offlined...)
+	start := vm.Sched.Now()
 	vmm.RunChain(vm.Sched, steps, func(bd *stats.Breakdown, total sim.Duration) {
 		// Hot-remove done: the hypervisor madvise()s the frames away and
 		// the commit budget returns to the host.
@@ -226,6 +237,12 @@ func (d *Driver) unplug(bytes int64, onDone func(UnplugResult)) {
 			ZeroedPages:    zeroedPages,
 			Breakdown:      bd,
 			Latency:        total,
+		}
+		if d.Obs != nil {
+			d.Obs.Span("virtio-mem/unplug", obs.CatMemory, start,
+				obs.I("requested_bytes", bytes), obs.I("reclaimed_bytes", reclaimed),
+				obs.I("migrated_pages", migratedPages), obs.I("zeroed_pages", zeroedPages),
+				obs.I("blocks", int64(len(blocks))))
 		}
 		d.finish()
 		onDone(res)
