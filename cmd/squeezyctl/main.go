@@ -41,6 +41,13 @@
 //	             starts, warm hits by tier, re-placements, pages
 //	             reclaimed/stranded per backend, autoscaler actions) as
 //	             JSON
+//	-faults S    overlay a fault plan on every fleet experiment cell:
+//	             a named scenario (reclaim-degrade, cold-crash,
+//	             straggler; none is the empty plan) or "fuzz" for a
+//	             random plan derived from -faultseed. Single-host
+//	             experiments ignore it
+//	-faultseed N seed for fuzzed fault plans and every host's fault
+//	             decision stream (default: -seed)
 //	-cpuprofile FILE  write a pprof CPU profile of the run to FILE
 //	-memprofile FILE  write a pprof heap profile at exit to FILE
 package main
@@ -59,8 +66,23 @@ import (
 	"time"
 
 	"squeezy/internal/experiments"
+	"squeezy/internal/fault"
 	"squeezy/internal/obs"
 )
+
+// validFaultScenario accepts the empty string (fault-free), any named
+// scenario, or the fuzzed-plan keyword.
+func validFaultScenario(name string) bool {
+	if name == "" || name == "fuzz" {
+		return true
+	}
+	for _, s := range fault.ScenarioNames() {
+		if name == s {
+			return true
+		}
+	}
+	return false
+}
 
 // cellStatsFlag is the tri-state -cellstats value: "" (off), "text"
 // (bare -cellstats), or "json" (-cellstats=json).
@@ -99,6 +121,8 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write the per-cell counter registries as JSON to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	faults := flag.String("faults", "", `fault scenario for fleet experiments (a fault.ScenarioNames() name or "fuzz")`)
+	faultSeed := flag.Uint64("faultseed", 0, "seed for fuzzed fault plans and fault decision streams (0 = -seed)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -206,11 +230,20 @@ func main() {
 		workers = experiments.AutoWorkers(budget)
 	}
 
+	if !validFaultScenario(*faults) {
+		fmt.Fprintf(os.Stderr, "squeezyctl: unknown -faults scenario %q (want %s, or fuzz)\n",
+			*faults, strings.Join(fault.ScenarioNames(), ", "))
+		os.Exit(2)
+	}
+
 	var sink *obs.Sink
 	if *simTrace != "" || *metricsPath != "" {
 		sink = &obs.Sink{}
 	}
-	opts := experiments.Options{Seed: *seed, Quick: *quick, Obs: sink}
+	opts := experiments.Options{
+		Seed: *seed, Quick: *quick, Obs: sink,
+		FaultScenario: *faults, FaultSeed: *faultSeed,
+	}
 	reports, stats, err := experiments.RunWithCellStats(names, opts, *trials, workers)
 	if err == nil {
 		switch cellStats.mode {

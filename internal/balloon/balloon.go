@@ -24,6 +24,15 @@ type InflateResult struct {
 	Latency        sim.Duration
 }
 
+// FaultHooks degrades the balloon for fault-injection windows: a
+// non-zero ReclaimStall turns inflation slow (the completion is
+// delayed while the device stays busy), and a ReclaimFraction below 1
+// caps how much of a request is attempted.
+type FaultHooks interface {
+	ReclaimStall() sim.Duration
+	ReclaimFraction() float64
+}
+
 // Driver is the guest balloon driver of one VM.
 type Driver struct {
 	K *guestos.Kernel
@@ -31,6 +40,9 @@ type Driver struct {
 	// Obs, when non-nil, records a span per inflation and an instant per
 	// deflation; recording never alters the operation.
 	Obs *obs.Recorder
+
+	// Faults, when non-nil, injects slow and partial inflations.
+	Faults FaultHooks
 
 	proc    *guestos.Process // owns the reserved pages
 	busy    bool
@@ -72,6 +84,11 @@ func (d *Driver) Inflate(bytes int64, onDone func(InflateResult)) {
 	d.enqueue(func() {
 		vm := d.K.VM
 		want := units.BytesToPages(bytes)
+		if d.Faults != nil {
+			if f := d.Faults.ReclaimFraction(); f < 1 {
+				want = int64(float64(want) * f)
+			}
+		}
 		chunks, got := d.K.AllocReserved(d.proc, want)
 
 		// The host releases whichever of the reserved pages were
@@ -88,21 +105,32 @@ func (d *Driver) Inflate(bytes int64, onDone func(InflateResult)) {
 		vm.CountExit("balloon-inflate", got)
 		start := vm.Sched.Now()
 		vmm.RunChain(vm.Sched, steps, func(bd *stats.Breakdown, total sim.Duration) {
-			res := InflateResult{
-				RequestedBytes: bytes,
-				ReclaimedBytes: units.PagesToBytes(got),
-				ReleasedPages:  released,
-				Breakdown:      bd,
-				Latency:        total,
+			deliver := func() {
+				res := InflateResult{
+					RequestedBytes: bytes,
+					ReclaimedBytes: units.PagesToBytes(got),
+					ReleasedPages:  released,
+					Breakdown:      bd,
+					Latency:        total,
+				}
+				if d.Obs != nil {
+					d.Obs.Span("balloon/inflate", obs.CatMemory, start,
+						obs.I("requested_bytes", res.RequestedBytes),
+						obs.I("reclaimed_bytes", res.ReclaimedBytes),
+						obs.I("released_pages", res.ReleasedPages))
+				}
+				d.finish()
+				onDone(res)
 			}
-			if d.Obs != nil {
-				d.Obs.Span("balloon/inflate", obs.CatMemory, start,
-					obs.I("requested_bytes", res.RequestedBytes),
-					obs.I("reclaimed_bytes", res.ReclaimedBytes),
-					obs.I("released_pages", res.ReleasedPages))
+			if d.Faults != nil {
+				// Slow inflation: the completion stalls while the device
+				// stays busy, so queued commands wait behind it.
+				if stall := d.Faults.ReclaimStall(); stall > 0 {
+					vm.Sched.After(stall, deliver)
+					return
+				}
 			}
-			d.finish()
-			onDone(res)
+			deliver()
 		})
 	})
 }

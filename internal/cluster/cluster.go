@@ -6,6 +6,7 @@ import (
 
 	"squeezy/internal/costmodel"
 	"squeezy/internal/faas"
+	"squeezy/internal/fault"
 	"squeezy/internal/hostmem"
 	"squeezy/internal/obs"
 	"squeezy/internal/sim"
@@ -40,6 +41,11 @@ type Config struct {
 	// [bounds[i-1], bounds[i]). Churn experiments bound phases at the
 	// failure/drain instant to isolate the post-event cold-start storm.
 	PhaseBounds []sim.Time
+	// Resilience, when non-nil, turns on the dispatcher resilience
+	// layer — per-attempt timeouts with capped-backoff retries, hedged
+	// dispatch, load shedding (resilience.go). nil preserves the plain
+	// dispatch path bit-for-bit.
+	Resilience *ResilienceConfig
 }
 
 // Node is one simulated host: a private scheduler, memory pool, and
@@ -84,6 +90,16 @@ type Node struct {
 	// host-locally. On failure or drain expiry the survivors re-place in
 	// this order, exactly once each.
 	inflight []*flight
+
+	// Resilience-layer state (resilience.go): attempts is the host's
+	// racing attempts (the resilient inflight); settled is the completed
+	// attempts parked host-locally until the dispatcher resolves them at
+	// the next boundary. Both empty when resilience is off.
+	attempts []*attempt
+	settled  []*attempt
+	// inj is the host's fault injector (faults.go); nil when the run has
+	// no fault plan.
+	inj *fault.Injector
 }
 
 // flight is one dispatcher-routed invocation from arrival to
@@ -123,6 +139,10 @@ type NodeMetrics struct {
 	ColdStarts int
 	WarmStarts int
 	Dropped    int
+	// Failed counts completions whose work broke — injected boot
+	// failures and crashes, or a resilient flight's exhausted retry
+	// budget — as opposed to Dropped (resources exhausted).
+	Failed int
 
 	ColdLatMs *stats.Sample
 	WarmLatMs *stats.Sample
@@ -142,7 +162,7 @@ func newNodeMetrics() NodeMetrics {
 }
 
 func (m *NodeMetrics) reset() {
-	m.ColdStarts, m.WarmStarts, m.Dropped = 0, 0, 0
+	m.ColdStarts, m.WarmStarts, m.Dropped, m.Failed = 0, 0, 0, 0
 	m.ColdLatMs.Reset()
 	m.WarmLatMs.Reset()
 	m.MemWaitMs.Reset()
@@ -178,6 +198,10 @@ type Metrics struct {
 	// even accept a VM for.
 	Dropped        int
 	AdmissionDrops int
+	// Failed counts completions whose work broke (injected boot
+	// failures, crashes, exhausted retries), merged from the per-host
+	// metrics by Stats.
+	Failed int
 
 	ColdLatMs *stats.Sample
 	WarmLatMs *stats.Sample
@@ -202,6 +226,17 @@ type Metrics struct {
 	Replaced int
 	// WarmLost counts warm idle instances destroyed by host failures.
 	WarmLost int
+
+	// Resilience counters (resilience.go), written by the serial
+	// dispatcher only: invocations shed at admission under memory
+	// pressure, retry attempts launched, hedge attempts launched, hedges
+	// that won their race, and attempts that exceeded the dispatch
+	// deadline.
+	Shed      int
+	Retries   int
+	Hedges    int
+	HedgeWins int
+	TimedOut  int
 
 	// Committed and Populated are fleet-wide memory time series in GiB,
 	// fed by SampleMemory at dispatcher epochs.
@@ -254,6 +289,22 @@ type ShardedCluster struct {
 	lastScale sim.Time // autoscaler cooldown anchor
 	scaled    bool     // an autoscaler action has happened this run
 
+	// Resilience state (resilience.go): resil is the normalized config
+	// (nil = plain dispatch), resilQ the pending timed decisions sorted
+	// by T, FIFO at ties; horizon flips after the final drain so
+	// late-settling failures stop scheduling retries.
+	resil   *ResilienceConfig
+	resilQ  []resilEvent
+	horizon bool
+
+	// Fault-injection state (faults.go): the pending plan sorted by T,
+	// the open windows sorted by expiry, and the plan seed every host
+	// injector derives its decision stream from.
+	faultQ    []fault.Event
+	faultOpen []openFault
+	faultSeed uint64
+	faultsOn  bool
+
 	// Observability (internal/obs): obsT is the run's trace, fleetObs its
 	// fleet-level recorder written only by the serial dispatcher. Both are
 	// nil when tracing is off — the common case, which every call site
@@ -290,6 +341,10 @@ func (cfg Config) withDefaults() Config {
 	if cfg.HarvestBufferInstances <= 0 {
 		cfg.HarvestBufferInstances = 2
 	}
+	if cfg.Resilience != nil {
+		r := cfg.Resilience.withDefaults()
+		cfg.Resilience = &r
+	}
 	return cfg
 }
 
@@ -309,6 +364,7 @@ func NewSharded(cost *costmodel.Model, cfg Config, policy Policy) *ShardedCluste
 	c.Metrics.ColdPhase, c.Metrics.LatPhase = fleetPhases(c.Cfg.PhaseBounds)
 	c.active = append(c.active, c.Nodes...)
 	c.live = append(c.live, c.Nodes...)
+	c.resil = c.Cfg.Resilience
 	return c
 }
 
@@ -369,6 +425,11 @@ func (c *ShardedCluster) Reset(cost *costmodel.Model, cfg Config, policy Policy)
 		n.Obs = nil
 		clear(n.inflight) // drop stale *flight pointers
 		n.inflight = n.inflight[:0]
+		clear(n.attempts) // drop stale *attempt pointers
+		n.attempts = n.attempts[:0]
+		clear(n.settled)
+		n.settled = n.settled[:0]
+		n.inj = nil
 		clear(n.vms)
 		clear(n.vmOrder) // drop stale *FuncVM pointers
 		n.vmOrder = n.vmOrder[:0]
@@ -379,6 +440,13 @@ func (c *ShardedCluster) Reset(cost *costmodel.Model, cfg Config, policy Policy)
 	c.active = append(c.active[:0], c.Nodes...)
 	c.live = append(c.live[:0], c.Nodes...)
 	c.fleetQ = c.fleetQ[:0]
+	c.resil = c.Cfg.Resilience
+	clear(c.resilQ) // drop stale *rflight pointers
+	c.resilQ = c.resilQ[:0]
+	c.horizon = false
+	clear(c.faultOpen)
+	c.faultQ, c.faultOpen = c.faultQ[:0], c.faultOpen[:0]
+	c.faultSeed, c.faultsOn = 0, false
 	c.obsT, c.fleetObs = nil, nil
 	c.autoscale = nil
 	c.lastScale, c.scaled = 0, false
@@ -386,7 +454,9 @@ func (c *ShardedCluster) Reset(cost *costmodel.Model, cfg Config, policy Policy)
 	c.shardNodes, c.shardTasks, c.drainTasks = nil, nil, nil
 	m := &c.Metrics
 	m.Invocations, m.ColdStarts, m.WarmStarts, m.Dropped, m.AdmissionDrops = 0, 0, 0, 0, 0
+	m.Failed = 0
 	m.HostJoins, m.HostFails, m.HostDrains, m.Replaced, m.WarmLost = 0, 0, 0, 0, 0
+	m.Shed, m.Retries, m.Hedges, m.HedgeWins, m.TimedOut = 0, 0, 0, 0, 0
 	m.ColdLatMs.Reset()
 	m.WarmLatMs.Reset()
 	m.MemWaitMs.Reset()
@@ -458,6 +528,10 @@ func (c *ShardedCluster) Invoke(fn *workload.Function, onDone func(faas.Result))
 	if c.fleetObs != nil {
 		c.fleetObs.Count("invocations", 1)
 	}
+	if c.resil != nil {
+		c.invokeResilient(fn, onDone)
+		return
+	}
 	c.route(&flight{fn: fn, arrival: c.now, onDone: onDone})
 }
 
@@ -465,22 +539,7 @@ func (c *ShardedCluster) Invoke(fn *workload.Function, onDone func(faas.Result))
 // host failure — through the dispatcher tiers, over the active hosts
 // only. It runs serially at an epoch boundary.
 func (c *ShardedCluster) route(fl *flight) {
-	tier := "warm"
-	target := c.warmNode(fl.fn)
-	if target == nil {
-		if cands := c.nodesWithSlack(fl.fn); len(cands) > 0 {
-			tier = "scale-up"
-			target = c.Policy.Pick(cands, fl.fn)
-		} else {
-			tier = "place"
-			target = c.Policy.Pick(c.active, fl.fn)
-		}
-	}
-	serving, fv := target, c.vmOn(target, fl.fn)
-	if fv == nil {
-		tier = "fallback"
-		serving, fv = c.fallbackVM(fl.fn)
-	}
+	tier, serving, fv := c.chooseVM(fl.fn, nil)
 	if fv == nil {
 		// No host can even boot a VM for fn: admission-drop rather than
 		// panic the host model with an unbackable boot.
@@ -503,15 +562,63 @@ func (c *ShardedCluster) route(fl *flight) {
 	fv.Invoke(fl.fn, serving.complete(fl))
 }
 
+// chooseVM resolves one placement through the dispatcher tiers and
+// returns the tier label, the serving host, and its VM (nils when the
+// fleet cannot admit the function at all). excl, when non-nil, vetoes
+// hosts — the resilience layer excludes hosts already racing an
+// attempt of the same invocation; a nil excl reproduces the plain
+// routing decision exactly.
+func (c *ShardedCluster) chooseVM(fn *workload.Function, excl func(*Node) bool) (string, *Node, *faas.FuncVM) {
+	tier := "warm"
+	target := c.warmNode(fn, excl)
+	if target == nil {
+		if cands := c.nodesWithSlack(fn, excl); len(cands) > 0 {
+			tier = "scale-up"
+			target = c.Policy.Pick(cands, fn)
+		} else if el := c.eligible(excl); len(el) > 0 {
+			tier = "place"
+			target = c.Policy.Pick(el, fn)
+		}
+	}
+	var serving *Node
+	var fv *faas.FuncVM
+	if target != nil {
+		serving, fv = target, c.vmOn(target, fn)
+	}
+	if fv == nil {
+		tier = "fallback"
+		serving, fv = c.fallbackVM(fn, excl)
+	}
+	return tier, serving, fv
+}
+
+// eligible returns the placement-eligible hosts under the exclusion
+// predicate; with none it is the active list itself (no allocation).
+func (c *ShardedCluster) eligible(excl func(*Node) bool) []*Node {
+	if excl == nil {
+		return c.active
+	}
+	var out []*Node
+	for _, n := range c.active {
+		if !excl(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 // warmNode returns the host that should serve fn warm — the one with
 // the most idle instances of fn (draining the largest warm pool first),
 // ties to the lowest ID — or nil when no host has one. Warm routing is
 // policy-independent on purpose: policies compete on cold placement,
 // not on rediscovering instance affinity.
-func (c *ShardedCluster) warmNode(fn *workload.Function) *Node {
+func (c *ShardedCluster) warmNode(fn *workload.Function, excl func(*Node) bool) *Node {
 	var best *Node
 	bestIdle := 0
 	for _, n := range c.active {
+		if excl != nil && excl(n) {
+			continue
+		}
 		fv := n.vms[fn.Name]
 		if fv == nil {
 			continue
@@ -525,9 +632,12 @@ func (c *ShardedCluster) warmNode(fn *workload.Function) *Node {
 
 // nodesWithSlack returns hosts whose existing VM for fn has spare
 // concurrency, in host order.
-func (c *ShardedCluster) nodesWithSlack(fn *workload.Function) []*Node {
+func (c *ShardedCluster) nodesWithSlack(fn *workload.Function, excl func(*Node) bool) []*Node {
 	var out []*Node
 	for _, n := range c.active {
+		if excl != nil && excl(n) {
+			continue
+		}
 		if fv := n.vms[fn.Name]; fv != nil && fv.LiveInstances() < c.Cfg.N {
 			out = append(out, n)
 		}
@@ -565,11 +675,14 @@ func (c *ShardedCluster) vmOn(n *Node, fn *workload.Function) *faas.FuncVM {
 // the least-backlogged host that already runs fn, else boot on the host
 // with the most free memory that can. Returns nils when the whole fleet
 // is too full.
-func (c *ShardedCluster) fallbackVM(fn *workload.Function) (*Node, *faas.FuncVM) {
+func (c *ShardedCluster) fallbackVM(fn *workload.Function, excl func(*Node) bool) (*Node, *faas.FuncVM) {
 	var existing *faas.FuncVM
 	var existingNode *Node
 	bestQueue := 0
 	for _, n := range c.active {
+		if excl != nil && excl(n) {
+			continue
+		}
 		if fv := n.vms[fn.Name]; fv != nil {
 			if existing == nil || fv.QueueLen() < bestQueue {
 				existing, existingNode, bestQueue = fv, n, fv.QueueLen()
@@ -581,9 +694,15 @@ func (c *ShardedCluster) fallbackVM(fn *workload.Function) (*Node, *faas.FuncVM)
 	}
 	var roomiest *Node
 	for _, n := range c.active {
+		if excl != nil && excl(n) {
+			continue
+		}
 		if roomiest == nil || n.FreePages() > roomiest.FreePages() {
 			roomiest = n
 		}
+	}
+	if roomiest == nil {
+		return nil, nil
 	}
 	return roomiest, c.vmOn(roomiest, fn)
 }
@@ -599,48 +718,65 @@ func (c *ShardedCluster) fallbackVM(fn *workload.Function) (*Node, *faas.FuncVM)
 func (n *Node) complete(fl *flight) func(faas.Result) {
 	return func(res faas.Result) {
 		n.removeFlight(fl)
-		m := &n.M
-		lat := res.Done.Sub(fl.arrival)
-		switch {
-		case res.Dropped:
-			m.Dropped++
-			if n.Obs != nil {
-				n.Obs.Count("dropped", 1)
-				n.Obs.Instant("drop: "+fl.fn.Name, obs.CatInvoke)
-			}
-		case res.Cold:
-			m.ColdStarts++
-			m.ColdLatMs.Add(lat.Milliseconds())
-			m.MemWaitMs.Add(res.Phases.MemWait.Milliseconds())
-			if m.ColdPhase != nil {
-				m.ColdPhase.Add(res.Done.Seconds(), lat.Milliseconds())
-			}
-			if n.Obs != nil {
-				n.Obs.Count("cold_starts", 1)
-				replaced := int64(0)
-				if fl.replaced {
-					replaced = 1
-				}
-				n.Obs.Instant("done-cold: "+fl.fn.Name, obs.CatInvoke,
-					obs.F("latency_ms", lat.Milliseconds()),
-					obs.F("mem_wait_ms", res.Phases.MemWait.Milliseconds()),
-					obs.I("replaced", replaced))
-			}
-		default:
-			m.WarmStarts++
-			m.WarmLatMs.Add(lat.Milliseconds())
-			if n.Obs != nil {
-				n.Obs.Count("warm_starts", 1)
-				n.Obs.Instant("done-warm: "+fl.fn.Name, obs.CatInvoke,
-					obs.F("latency_ms", lat.Milliseconds()))
-			}
-		}
-		if !res.Dropped && m.LatPhase != nil {
-			m.LatPhase.Add(res.Done.Seconds(), lat.Milliseconds())
-		}
+		n.account(fl.fn, fl.arrival, fl.replaced, res)
 		if fl.onDone != nil {
 			fl.onDone(res)
 		}
+	}
+}
+
+// account records one completed result in the host's metrics. Shared
+// by the plain completion wrapper (host-side, host-local by the
+// inflight contract) and the resilience layer's boundary-time delivery
+// (serial, hosts parked). The recorded latency spans the original
+// arrival, so a re-placed or retried invocation pays for the work its
+// failed attempts lost.
+func (n *Node) account(fn *workload.Function, arrival sim.Time, replaced bool, res faas.Result) {
+	m := &n.M
+	lat := res.Done.Sub(arrival)
+	switch {
+	case res.Failed:
+		m.Failed++
+		if n.Obs != nil {
+			n.Obs.Count("failed", 1)
+			n.Obs.Instant("done-failed: "+fn.Name, obs.CatFault,
+				obs.F("latency_ms", lat.Milliseconds()))
+		}
+	case res.Dropped:
+		m.Dropped++
+		if n.Obs != nil {
+			n.Obs.Count("dropped", 1)
+			n.Obs.Instant("drop: "+fn.Name, obs.CatInvoke)
+		}
+	case res.Cold:
+		m.ColdStarts++
+		m.ColdLatMs.Add(lat.Milliseconds())
+		m.MemWaitMs.Add(res.Phases.MemWait.Milliseconds())
+		if m.ColdPhase != nil {
+			m.ColdPhase.Add(res.Done.Seconds(), lat.Milliseconds())
+		}
+		if n.Obs != nil {
+			n.Obs.Count("cold_starts", 1)
+			repl := int64(0)
+			if replaced {
+				repl = 1
+			}
+			n.Obs.Instant("done-cold: "+fn.Name, obs.CatInvoke,
+				obs.F("latency_ms", lat.Milliseconds()),
+				obs.F("mem_wait_ms", res.Phases.MemWait.Milliseconds()),
+				obs.I("replaced", repl))
+		}
+	default:
+		m.WarmStarts++
+		m.WarmLatMs.Add(lat.Milliseconds())
+		if n.Obs != nil {
+			n.Obs.Count("warm_starts", 1)
+			n.Obs.Instant("done-warm: "+fn.Name, obs.CatInvoke,
+				obs.F("latency_ms", lat.Milliseconds()))
+		}
+	}
+	if !res.Dropped && !res.Failed && m.LatPhase != nil {
+		m.LatPhase.Add(res.Done.Seconds(), lat.Milliseconds())
 	}
 }
 
@@ -666,7 +802,7 @@ func (n *Node) removeFlight(fl *flight) {
 // would race the completion callbacks.
 func (c *ShardedCluster) Stats() *Metrics {
 	m := &c.Metrics
-	m.ColdStarts, m.WarmStarts, m.Dropped = 0, 0, 0
+	m.ColdStarts, m.WarmStarts, m.Dropped, m.Failed = 0, 0, 0, 0
 	m.ColdLatMs.Reset()
 	m.WarmLatMs.Reset()
 	m.MemWaitMs.Reset()
@@ -678,6 +814,7 @@ func (c *ShardedCluster) Stats() *Metrics {
 		m.ColdStarts += n.M.ColdStarts
 		m.WarmStarts += n.M.WarmStarts
 		m.Dropped += n.M.Dropped
+		m.Failed += n.M.Failed
 		m.ColdLatMs.Merge(n.M.ColdLatMs)
 		m.WarmLatMs.Merge(n.M.WarmLatMs)
 		m.MemWaitMs.Merge(n.M.MemWaitMs)

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"squeezy/internal/fault"
+	"squeezy/internal/obs"
+	"squeezy/internal/sim"
+)
+
+// Fault-plan execution: windows open and close at dispatcher epoch
+// boundaries, with every host paused — the same serialization point
+// that makes routing and churn deterministic makes fault injection
+// deterministic. Between boundaries each host consults only its own
+// injector (internal/fault), whose probabilistic decisions come from a
+// counter-mode stream seeded by (plan seed, host ID) — so nothing an
+// injected fault does depends on the shard partition or worker pool.
+//
+// Window semantics follow fault.Event: Host -1 targets every host live
+// at open time (the applied set is recorded, so the close targets
+// exactly those hosts and a mid-window joiner is unaffected); dangling
+// IDs are no-ops. At a boundary, closes fire before opens.
+
+// openFault is one active window and the hosts it was applied to.
+type openFault struct {
+	ev    fault.Event
+	until sim.Time
+	hosts []*Node
+}
+
+// ScheduleFaults arms a fault plan for the next Play: every host gets
+// an injector seeded from (seed, host ID), wired into its runtime so
+// the VMs it boots see injected boot failures and crashes and its
+// reclaim backends see stalls and partial completions. Call before the
+// run places any VM (Play does, via PlayConfig.Faults); an empty plan
+// is a no-op and leaves the fleet byte-identical to a fault-free run.
+func (c *ShardedCluster) ScheduleFaults(events []fault.Event, seed uint64) {
+	if len(events) == 0 {
+		return
+	}
+	c.faultSeed = seed
+	if !c.faultsOn {
+		c.faultsOn = true
+		for _, n := range c.live {
+			c.armInjector(n)
+		}
+	}
+	for _, ev := range events {
+		c.enqueueFault(ev)
+	}
+}
+
+// armInjector gives the host its decision stream. The injector seed
+// depends only on the plan seed and the host ID, so a host's stream is
+// identical no matter when it joined or which worker advances it.
+func (c *ShardedCluster) armInjector(n *Node) {
+	n.inj = fault.NewInjector(n.ID, c.faultSeed)
+	n.RT.Faults = n.inj
+}
+
+// enqueueFault inserts the event keeping the queue sorted by time,
+// FIFO among equal times.
+func (c *ShardedCluster) enqueueFault(ev fault.Event) {
+	i := len(c.faultQ)
+	for i > 0 && c.faultQ[i-1].T > ev.T {
+		i--
+	}
+	c.faultQ = append(c.faultQ, fault.Event{})
+	copy(c.faultQ[i+1:], c.faultQ[i:])
+	c.faultQ[i] = ev
+}
+
+// nextFault reports the earliest pending fault boundary — a window
+// opening or closing — at or before horizon.
+func (c *ShardedCluster) nextFault(horizon sim.Time) (sim.Time, bool) {
+	t, have := sim.Time(0), false
+	if len(c.faultQ) > 0 && c.faultQ[0].T <= horizon {
+		t, have = c.faultQ[0].T, true
+	}
+	if len(c.faultOpen) > 0 {
+		if u := c.faultOpen[0].until; u <= horizon && (!have || u < t) {
+			t, have = u, true
+		}
+	}
+	return t, have
+}
+
+// fireFaultEvents applies every window transition due at or before t:
+// expired windows close first, then due windows open. The fleet must
+// be paused at boundary t.
+func (c *ShardedCluster) fireFaultEvents(t sim.Time) {
+	if !c.faultsOn {
+		return
+	}
+	for len(c.faultOpen) > 0 && c.faultOpen[0].until <= t {
+		of := c.faultOpen[0]
+		c.faultOpen = c.faultOpen[1:]
+		c.closeFault(of)
+	}
+	for len(c.faultQ) > 0 && c.faultQ[0].T <= t {
+		ev := c.faultQ[0]
+		c.faultQ = c.faultQ[1:]
+		c.openFaultWindow(ev)
+	}
+}
+
+// openFaultWindow resolves the event's target hosts, opens the window
+// on each, and records the applied set so the close mirrors it.
+func (c *ShardedCluster) openFaultWindow(ev fault.Event) {
+	var hosts []*Node
+	switch {
+	case ev.Host < 0:
+		hosts = append(hosts, c.live...)
+	case ev.Host < len(c.Nodes):
+		if n := c.Nodes[ev.Host]; n.state != nodeDead {
+			hosts = append(hosts, n)
+		}
+	}
+	if len(hosts) == 0 {
+		return // dangling or dead target: fuzzed plans must be safe no-ops
+	}
+	for _, n := range hosts {
+		n.inj.Open(ev)
+		if ev.Kind == fault.Straggler {
+			c.applyStraggler(n)
+		}
+	}
+	c.insertOpenFault(openFault{ev: ev, until: ev.T.Add(ev.Dur), hosts: hosts})
+	if c.fleetObs != nil {
+		c.fleetObs.Count("faults/windows", 1)
+		c.fleetObs.Instant("fault-open: "+ev.Kind.String(), obs.CatFault,
+			obs.I("host", int64(ev.Host)), obs.F("mag", ev.Mag),
+			obs.I("targets", int64(len(hosts))))
+	}
+}
+
+// insertOpenFault keeps the active-window list sorted by expiry, FIFO
+// among equal expiries.
+func (c *ShardedCluster) insertOpenFault(of openFault) {
+	i := len(c.faultOpen)
+	for i > 0 && c.faultOpen[i-1].until > of.until {
+		i--
+	}
+	c.faultOpen = append(c.faultOpen, openFault{})
+	copy(c.faultOpen[i+1:], c.faultOpen[i:])
+	c.faultOpen[i] = of
+}
+
+// closeFault closes the window on exactly the hosts it opened on;
+// hosts that died mid-window are skipped (their injectors are frozen
+// with their schedulers).
+func (c *ShardedCluster) closeFault(of openFault) {
+	for _, n := range of.hosts {
+		if n.state == nodeDead {
+			continue
+		}
+		n.inj.Close(of.ev)
+		if of.ev.Kind == fault.Straggler {
+			c.applyStraggler(n)
+		}
+	}
+	if c.fleetObs != nil {
+		c.fleetObs.Instant("fault-close: "+of.ev.Kind.String(), obs.CatFault,
+			obs.I("host", int64(of.ev.Host)))
+	}
+}
+
+// applyStraggler swaps the host onto a cost model scaled by its
+// current straggler factor (back to the shared model when the factor
+// returns to 1). Costs are read at operation time, so in-flight work
+// finishes at the new speed; the dispatcher's policy costs stay
+// unscaled — the control plane doesn't know the host got slow, which
+// is exactly the blindness resilience has to absorb.
+func (c *ShardedCluster) applyStraggler(n *Node) {
+	cost := c.Cost
+	if scale := n.inj.StragglerScale(); scale > 1 {
+		cost = c.Cost.Scaled(scale)
+		if c.fleetObs != nil {
+			c.fleetObs.Instant("straggler", obs.CatFault,
+				obs.I("host", int64(n.ID)), obs.F("scale", scale))
+		}
+	}
+	n.RT.Cost = cost
+	for _, fv := range n.RT.VMs {
+		fv.VM.Cost = cost
+		fv.K.Cost = cost
+	}
+}

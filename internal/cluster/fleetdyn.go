@@ -179,6 +179,9 @@ func (c *ShardedCluster) joinHost() *Node {
 	c.live = append(c.live, n)
 	c.Metrics.HostJoins++
 	c.attachNodeObs(n)
+	if c.faultsOn {
+		c.armInjector(n) // before the host can boot a VM
+	}
 	if c.fleetObs != nil {
 		c.fleetObs.Count("fleet/joins", 1)
 		c.fleetObs.Instant("host-join", obs.CatFleet,
@@ -200,10 +203,11 @@ func (c *ShardedCluster) failHost(n *Node) {
 		c.fleetObs.Count("warm_lost", int64(warmLost))
 		c.fleetObs.Instant("host-fail", obs.CatFleet,
 			obs.I("host", int64(n.ID)), obs.I("warm_lost", int64(warmLost)),
-			obs.I("inflight", int64(len(n.inflight))))
+			obs.I("inflight", int64(len(n.inflight)+len(n.attempts))))
 	}
 	c.retire(n)
 	c.replaceFlights(n)
+	c.replaceAttempts(n)
 }
 
 // startDrain stops placements on the host and arms the drain deadline.
@@ -230,10 +234,11 @@ func (c *ShardedCluster) startDrain(n *Node) {
 func (c *ShardedCluster) expireDrain(n *Node) {
 	if c.fleetObs != nil {
 		c.fleetObs.Instant("drain-deadline", obs.CatFleet,
-			obs.I("host", int64(n.ID)), obs.I("stragglers", int64(len(n.inflight))))
+			obs.I("host", int64(n.ID)), obs.I("stragglers", int64(len(n.inflight)+len(n.attempts))))
 	}
 	c.retire(n)
 	c.replaceFlights(n)
+	c.replaceAttempts(n)
 }
 
 // settleDrains retires draining hosts whose in-flight work has
@@ -242,7 +247,7 @@ func (c *ShardedCluster) expireDrain(n *Node) {
 func (c *ShardedCluster) settleDrains() {
 	var done []*Node // collected first: retire edits c.live in place
 	for _, n := range c.live {
-		if n.state == nodeDraining && len(n.inflight) == 0 {
+		if n.state == nodeDraining && len(n.inflight) == 0 && len(n.attempts) == 0 {
 			done = append(done, n)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"squeezy/internal/fault"
 	"squeezy/internal/sim"
 	"squeezy/internal/workload"
 )
@@ -72,6 +73,12 @@ type PlayConfig struct {
 	// pressure, evaluated after each memory sample — so autoscaling
 	// requires TickEvery > 0.
 	Autoscale *AutoscaleConfig
+	// Faults is the fault plan: injection windows opened and closed at
+	// epoch boundaries (faults.go). FaultSeed seeds every host's
+	// probabilistic decision stream; with an empty plan the run is
+	// byte-identical to a fault-free one.
+	Faults    []fault.Event
+	FaultSeed uint64
 }
 
 // Play replays a time-sorted invocation stream through the dispatcher
@@ -81,17 +88,25 @@ func (c *ShardedCluster) Play(invs []Invocation, pc PlayConfig) {
 	c.prepareShards(pc.Shards)
 	c.autoscale = pc.Autoscale
 	c.ScheduleFleetEvents(pc.Events)
+	c.ScheduleFaults(pc.Faults, pc.FaultSeed)
 	ticks := pc.TickEvery > 0
 	var nextTick sim.Time
 	i := 0
 	for {
 		// Next boundary: the earliest of the next invocation, the next
-		// tick, and the next due fleet event.
+		// tick, the next due fleet event, the next fault-window
+		// transition, and the next live resilience decision.
 		t, have := sim.Time(0), false
 		consider := func(x sim.Time) {
 			if !have || x < t {
 				t, have = x, true
 			}
+		}
+		late := func(x sim.Time) sim.Time {
+			if x < c.now {
+				return c.now // late-queued event fires at the next boundary
+			}
+			return x
 		}
 		if i < len(invs) {
 			consider(invs[i].T)
@@ -100,11 +115,13 @@ func (c *ShardedCluster) Play(invs []Invocation, pc PlayConfig) {
 			consider(nextTick)
 		}
 		if len(c.fleetQ) > 0 && c.fleetQ[0].T <= pc.DrainUntil {
-			ev := c.fleetQ[0].T
-			if ev < c.now {
-				ev = c.now // late-queued event fires at the next boundary
-			}
-			consider(ev)
+			consider(late(c.fleetQ[0].T))
+		}
+		if ft, ok := c.nextFault(pc.DrainUntil); ok {
+			consider(late(ft))
+		}
+		if rt, ok := c.nextResil(); ok && rt <= pc.DrainUntil {
+			consider(late(rt))
 		}
 		if !have {
 			break
@@ -114,10 +131,16 @@ func (c *ShardedCluster) Play(invs []Invocation, pc PlayConfig) {
 		}
 		c.AdvanceTo(t)
 		// Canonical boundary order: finished drains retire, fleet
-		// events fire in queue order, invocations route in trace
-		// order, then the memory sample and the autoscaler.
+		// events fire in queue order, fault windows transition (closes
+		// before opens), settled attempts resolve (so a completion
+		// beats a same-instant timeout), resilience decisions fire,
+		// invocations route in trace order, then the memory sample and
+		// the autoscaler.
 		c.settleDrains()
 		c.fireFleetEvents(t)
+		c.fireFaultEvents(t)
+		c.resolveSettled()
+		c.fireResilEvents(t)
 		for i < len(invs) && invs[i].T == t {
 			c.Invoke(invs[i].Fn, nil)
 			i++
@@ -129,6 +152,7 @@ func (c *ShardedCluster) Play(invs []Invocation, pc PlayConfig) {
 		}
 	}
 	c.Drain(pc.DrainUntil)
+	c.finishResil()
 }
 
 // prepareShards records the requested shard count, partitions the live

@@ -81,6 +81,15 @@ type Config struct {
 	SharedBytes int64
 }
 
+// FaultHooks degrades the manager's device path for fault-injection
+// windows: a non-zero ReclaimStall delays every command completion
+// (the command occupies the device queue the whole time), and a
+// ReclaimFraction below 1 caps how many partitions an unplug attempts.
+type FaultHooks interface {
+	ReclaimStall() sim.Duration
+	ReclaimFraction() float64
+}
+
 // Manager is the Squeezy memory manager extension of one guest kernel.
 type Manager struct {
 	K   *guestos.Kernel
@@ -89,6 +98,9 @@ type Manager struct {
 	// Obs, when non-nil, records a span per plug/unplug command;
 	// recording never alters the command.
 	Obs *obs.Recorder
+
+	// Faults, when non-nil, injects stalled and partial commands.
+	Faults FaultHooks
 
 	Shared *mem.Zone
 	parts  []*Partition
@@ -180,6 +192,19 @@ func (m *Manager) finish() {
 	m.busy = false
 }
 
+// deliver completes a command, imposing the injected stall first; the
+// stall happens inside the device's busy window, so queued commands
+// wait behind it and the runtime's ReclaimDrainTimeout can fire.
+func (m *Manager) deliver(fn func()) {
+	if m.Faults != nil {
+		if stall := m.Faults.ReclaimStall(); stall > 0 {
+			m.K.VM.Sched.After(stall, fn)
+			return
+		}
+	}
+	fn()
+}
+
 // Plug populates nParts empty partitions with hotplugged memory
 // (triggered by the hypervisor on a scale-up event, Figure 4 step 2).
 // onDone receives how many partitions were populated once the memory is
@@ -216,16 +241,18 @@ func (m *Manager) Plug(nParts int, onDone func(plugged int)) {
 		}
 		start := vm.Sched.Now()
 		vmm.RunChain(vm.Sched, steps, func(_ *stats.Breakdown, _ sim.Duration) {
-			for _, p := range plugged {
-				p.state = PartFree
-			}
-			if m.Obs != nil {
-				m.Obs.Span("squeezy/plug", obs.CatMemory, start,
-					obs.I("partitions", int64(len(plugged))), obs.I("blocks", blocks))
-			}
-			m.finish()
-			m.wakeWaiters()
-			onDone(len(plugged))
+			m.deliver(func() {
+				for _, p := range plugged {
+					p.state = PartFree
+				}
+				if m.Obs != nil {
+					m.Obs.Span("squeezy/plug", obs.CatMemory, start,
+						obs.I("partitions", int64(len(plugged))), obs.I("blocks", blocks))
+				}
+				m.finish()
+				m.wakeWaiters()
+				onDone(len(plugged))
+			})
 		})
 	})
 }
@@ -311,6 +338,13 @@ func (m *Manager) onExit(proc *guestos.Process) {
 func (m *Manager) Unplug(nParts int, onDone func(UnplugResult)) {
 	m.enqueue(func() {
 		vm := m.K.VM
+		if m.Faults != nil {
+			if f := m.Faults.ReclaimFraction(); f < 1 {
+				// Partial command: the degraded device attempts only a
+				// fraction of the request (possibly none of it).
+				nParts = int(float64(nParts) * f)
+			}
+		}
 		var victims []*Partition
 		for _, p := range m.parts {
 			if len(victims) >= nParts {
@@ -347,24 +381,26 @@ func (m *Manager) Unplug(nParts int, onDone func(UnplugResult)) {
 		req := int64(nParts) * m.PartitionBlocks() * units.BlockSize
 		cmdStart := vm.Sched.Now()
 		vmm.RunChain(vm.Sched, steps, func(bd *stats.Breakdown, total sim.Duration) {
-			for _, p := range victims {
-				for i := 0; i < p.Zone.Blocks(); i++ {
-					start, count := p.Zone.BlockRange(i)
-					m.K.ReleaseRange(start, count)
-					vm.Uncommit(count)
+			m.deliver(func() {
+				for _, p := range victims {
+					for i := 0; i < p.Zone.Blocks(); i++ {
+						start, count := p.Zone.BlockRange(i)
+						m.K.ReleaseRange(start, count)
+						vm.Uncommit(count)
+					}
 				}
-			}
-			if m.Obs != nil {
-				m.Obs.Span("squeezy/unplug", obs.CatMemory, cmdStart,
-					obs.I("requested_bytes", req), obs.I("reclaimed_bytes", reclaimed),
-					obs.I("blocks", blocks))
-			}
-			m.finish()
-			onDone(UnplugResult{
-				RequestedBytes: req,
-				ReclaimedBytes: reclaimed,
-				Breakdown:      bd,
-				Latency:        total,
+				if m.Obs != nil {
+					m.Obs.Span("squeezy/unplug", obs.CatMemory, cmdStart,
+						obs.I("requested_bytes", req), obs.I("reclaimed_bytes", reclaimed),
+						obs.I("blocks", blocks))
+				}
+				m.finish()
+				onDone(UnplugResult{
+					RequestedBytes: req,
+					ReclaimedBytes: reclaimed,
+					Breakdown:      bd,
+					Latency:        total,
+				})
 			})
 		})
 	})

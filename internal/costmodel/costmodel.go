@@ -11,6 +11,56 @@ import "squeezy/internal/sim"
 // little" cases (§6.2.2).
 const ReclaimDrainTimeout = 5 * sim.Second
 
+// Dispatcher-resilience constants (internal/cluster). They are fleet
+// policy, not host mechanics, but live here with the other calibrated
+// time constants so experiments ablate them in one place.
+const (
+	// DispatchTimeout is the per-attempt deadline of a routed
+	// invocation: past it the dispatcher races a fresh attempt on
+	// another host (the original keeps running and may still win). It is
+	// a gray-failure detector, not a congestion manager, so it sits
+	// above the pressured fleet's worst *healthy* tail — the post-burst
+	// backlog reaches ~40 s (EXPERIMENTS.md) — and well below the
+	// injected-degradation tails (hundreds of seconds). A timeout below
+	// the healthy tail triggers speculative re-dispatch of merely-queued
+	// work, and the extra load feeds back into more timeouts: a classic
+	// retry storm.
+	DispatchTimeout = 60 * sim.Second
+	// RetryBackoffBase and RetryBackoffCap bound the capped exponential
+	// backoff between dispatch retries: retry k waits
+	// min(Base << k, Cap) after the failure that triggered it.
+	RetryBackoffBase = 250 * sim.Millisecond
+	RetryBackoffCap  = 4 * sim.Second
+	// DispatchMaxRetries bounds re-dispatch attempts per invocation
+	// (the primary attempt is not a retry).
+	DispatchMaxRetries = 3
+	// HedgeDelay is how long the dispatcher waits on the primary
+	// attempt before hedging a second host (when hedging is enabled) —
+	// just above the fleet's steady-state cold P99 (~5-7.6 s), so only
+	// genuine tail requests hedge, and early enough that a hedge still
+	// beats a brown-out host's ~30x-slowed boot. Hedges are further gated
+	// on the target serving without queueing (a warm instance, or
+	// memory headroom covering the new instance): a hedge into a
+	// backlog or a memory-starved spawn would amplify exactly the
+	// congestion it is meant to dodge.
+	HedgeDelay = 8 * sim.Second
+)
+
+// Load-shedding thresholds (internal/cluster): an invocation of
+// priority p is shed when the fleet's demand overload — broker-queued
+// (demanded-but-unmet) pages as a fraction of total memory — exceeds
+// ShedBase + p*ShedStep. The signal is deliberately not
+// committed/capacity: an elastic fleet sits full of reclaimable
+// keep-alive pools by design, so committed memory reads ~1.0 even
+// idle, while the unmet queue is ~0 healthy (mean ~0.35 through
+// bursts at the experiments' scale) and >1.0 when reclaim degrades.
+// The lowest priority sheds once a burst outruns reclaim; the highest
+// holds until the backlog alone covers the whole fleet's memory.
+const (
+	ShedBase = 0.5
+	ShedStep = 0.25
+)
+
 // Model holds every tunable cost constant. Experiments copy and tweak a
 // Model for ablations; the zero value is unusable — start from Default.
 type Model struct {
@@ -106,5 +156,27 @@ func Default() *Model {
 // Clone returns a copy of the model for experiment-local tweaking.
 func (m *Model) Clone() *Model {
 	c := *m
+	return &c
+}
+
+// Scaled returns a copy of the model with every duration multiplied by
+// f (policy booleans unchanged). The fault injector uses it to turn a
+// host into a straggler for a window: the same protocol, uniformly
+// slower hardware.
+func (m *Model) Scaled(f float64) *Model {
+	s := func(d sim.Duration) sim.Duration { return sim.Duration(float64(d) * f) }
+	c := *m
+	c.GuestFaultPerPage = s(m.GuestFaultPerPage)
+	c.ZeroPerPage = s(m.ZeroPerPage)
+	c.MigratePerPage = s(m.MigratePerPage)
+	c.OnlineMetaPerBlock = s(m.OnlineMetaPerBlock)
+	c.OfflineMetaPerBlockVanilla = s(m.OfflineMetaPerBlockVanilla)
+	c.OfflineMetaPerBlockSqueezy = s(m.OfflineMetaPerBlockSqueezy)
+	c.VMExitPerBlock = s(m.VMExitPerBlock)
+	c.VMExitPerPage = s(m.VMExitPerPage)
+	c.BalloonGuestPerPage = s(m.BalloonGuestPerPage)
+	c.PlugHostFixed = s(m.PlugHostFixed)
+	c.NestedFaultPerPage = s(m.NestedFaultPerPage)
+	c.MicroVMBoot = s(m.MicroVMBoot)
 	return &c
 }

@@ -7,6 +7,7 @@ import (
 	"squeezy/internal/cluster"
 	"squeezy/internal/costmodel"
 	"squeezy/internal/faas"
+	"squeezy/internal/fault"
 	"squeezy/internal/sim"
 	"squeezy/internal/trace"
 	"squeezy/internal/units"
@@ -40,6 +41,44 @@ type fleetCfg struct {
 	events    []cluster.FleetEvent
 	autoscale *cluster.AutoscaleConfig
 	phases    []sim.Time
+
+	// Fault injection and resilience (cluster-resilience, or any fleet
+	// experiment under squeezyctl -faults): a fault plan with its
+	// decision-stream seed, and the dispatcher resilience config (nil =
+	// plain dispatch). All zero for the fault-free experiments.
+	faults    []fault.Event
+	faultSeed uint64
+	resil     *cluster.ResilienceConfig
+}
+
+// applyOptFaults overlays the options' fault scenario (squeezyctl
+// -faults) on a cell config. Phase bounds are added at the window
+// start when the run has none, so the post-fault tail is readable even
+// in the static experiments.
+func applyOptFaults(opts Options, fc *fleetCfg) {
+	name := opts.FaultScenario
+	if name == "" || name == "none" {
+		return
+	}
+	seed := opts.FaultSeed
+	if seed == 0 {
+		seed = opts.seed()
+	}
+	if name == "fuzz" {
+		fc.faults = fault.GenFaults(seed, fault.Config{
+			Duration: fc.duration, Events: 12, Hosts: fc.hosts,
+		})
+	} else {
+		evs, ok := fault.Scenario(name, fc.hosts, fc.duration)
+		if !ok {
+			panic("experiments: unknown fault scenario " + name)
+		}
+		fc.faults = evs
+	}
+	fc.faultSeed = seed
+	if len(fc.phases) == 0 {
+		fc.phases = []sim.Time{sim.Time(fc.duration / 2)}
+	}
 }
 
 // fleetStats is the measured outcome of one fleet run.
@@ -66,6 +105,15 @@ type fleetStats struct {
 	ColdP99PreMs         float64
 	ColdP99PostMs        float64
 	LatP99PostMs         float64
+
+	// Resilience and fault outcomes (cluster-resilience), zero in the
+	// fault-free plain-dispatch experiments.
+	Failed    int // injected failures delivered as error results
+	Shed      int // invocations shed at admission under pressure
+	Retries   int
+	Hedges    int
+	HedgeWins int
+	TimedOut  int
 }
 
 // fleetRun replays a Zipf fleet trace against a sharded cluster and
@@ -83,6 +131,7 @@ func fleetRun(w *World, seed uint64, fc fleetCfg) fleetStats {
 		N:            8,
 		KeepAlive:    45 * sim.Second,
 		PhaseBounds:  fc.phases,
+		Resilience:   fc.resil,
 	}, cluster.NewPolicy(fc.policy, cost))
 
 	fleet := workload.Fleet(fc.funcs)
@@ -113,11 +162,13 @@ func fleetRun(w *World, seed uint64, fc fleetCfg) fleetStats {
 		DrainUntil: sim.Time(10 * fc.duration),
 		Events:     fc.events,
 		Autoscale:  fc.autoscale,
+		Faults:     fc.faults,
+		FaultSeed:  fc.faultSeed,
 	})
 	w.NoteShardWalls(c.ShardWalls())
 
 	m := c.Stats()
-	served := m.ColdStarts + m.WarmStarts + m.Dropped + m.AdmissionDrops
+	served := m.ColdStarts + m.WarmStarts + m.Dropped + m.AdmissionDrops + m.Failed + m.Shed
 	fs := fleetStats{
 		VMs:        c.VMCount(),
 		Invoked:    m.Invocations,
@@ -136,6 +187,12 @@ func fleetRun(w *World, seed uint64, fc fleetCfg) fleetStats {
 		Drains:     m.HostDrains,
 		Replaced:   m.Replaced,
 		WarmLost:   m.WarmLost,
+		Failed:     m.Failed,
+		Shed:       m.Shed,
+		Retries:    m.Retries,
+		Hedges:     m.Hedges,
+		HedgeWins:  m.HedgeWins,
+		TimedOut:   m.TimedOut,
 	}
 	if m.ColdPhase != nil && m.ColdPhase.Phases() >= 2 {
 		pre, post := m.ColdPhase.Phase(0), m.ColdPhase.Phase(1)
@@ -227,11 +284,13 @@ func ClusterPoliciesPlan(opts Options) *Plan {
 	for _, hosts := range hostCounts {
 		for _, backend := range []faas.BackendKind{faas.VirtioMem, faas.Squeezy} {
 			for _, policy := range cluster.PolicyNames() {
+				fc := fleetCfg{
+					policy: policy, backend: backend, hosts: hosts, hostMem: hostMem,
+					funcs: funcs, duration: duration, baseRPS: baseRPS, burstRPS: burstRPS,
+				}
+				applyOptFaults(opts, &fc)
 				cells = append(cells, fleetCell{
-					fc: fleetCfg{
-						policy: policy, backend: backend, hosts: hosts, hostMem: hostMem,
-						funcs: funcs, duration: duration, baseRPS: baseRPS, burstRPS: burstRPS,
-					},
+					fc:   fc,
 					lead: []string{policy, backend.String(), fmt.Sprintf("%d", hosts)},
 				})
 			}
@@ -262,13 +321,15 @@ func ClusterScalePlan(opts Options) *Plan {
 	var cells []fleetCell
 	for _, hosts := range hostCounts {
 		funcs := perHostFuncs * hosts
+		fc := fleetCfg{
+			policy: "reclaim-aware", backend: faas.Squeezy,
+			hosts: hosts, hostMem: 32 * units.GiB,
+			funcs: funcs, duration: duration,
+			baseRPS: perHostBase * float64(hosts), burstRPS: perHostBurst * float64(hosts),
+		}
+		applyOptFaults(opts, &fc)
 		cells = append(cells, fleetCell{
-			fc: fleetCfg{
-				policy: "reclaim-aware", backend: faas.Squeezy,
-				hosts: hosts, hostMem: 32 * units.GiB,
-				funcs: funcs, duration: duration,
-				baseRPS: perHostBase * float64(hosts), burstRPS: perHostBurst * float64(hosts),
-			},
+			fc:   fc,
 			lead: []string{fmt.Sprintf("%d", hosts), fmt.Sprintf("%d", funcs)},
 		})
 	}
@@ -298,11 +359,13 @@ func ClusterOvercommitPlan(opts Options) *Plan {
 	var cells []fleetCell
 	for _, backend := range []faas.BackendKind{faas.VirtioMem, faas.Harvest, faas.Squeezy} {
 		for _, gib := range memSteps {
+			fc := fleetCfg{
+				policy: "reclaim-aware", backend: backend, hosts: hosts, hostMem: gib * units.GiB,
+				funcs: funcs, duration: duration, baseRPS: baseRPS, burstRPS: burstRPS,
+			}
+			applyOptFaults(opts, &fc)
 			cells = append(cells, fleetCell{
-				fc: fleetCfg{
-					policy: "reclaim-aware", backend: backend, hosts: hosts, hostMem: gib * units.GiB,
-					funcs: funcs, duration: duration, baseRPS: baseRPS, burstRPS: burstRPS,
-				},
+				fc:   fc,
 				lead: []string{backend.String(), fmt.Sprintf("%d", gib)},
 			})
 		}

@@ -21,6 +21,16 @@ type Options struct {
 	// (squeezyctl -simtrace / -metrics). Tracing observes only: reports
 	// and tables are byte-identical with it on or off.
 	Obs *obs.Sink
+	// FaultScenario applies a fault plan to every fleet experiment
+	// cell: "" or "none" runs fault-free (byte-identical to a build
+	// without the fault machinery), a name from fault.ScenarioNames()
+	// plays that profile, and "fuzz" generates a random plan from
+	// FaultSeed (squeezyctl -faults).
+	FaultScenario string
+	// FaultSeed seeds fuzzed fault plans and every host's fault
+	// decision stream; 0 uses the experiment seed (squeezyctl
+	// -faultseed).
+	FaultSeed uint64
 }
 
 func (o Options) seed() uint64 {

@@ -77,7 +77,11 @@ type Result struct {
 	Latency sim.Duration
 	Cold    bool
 	Dropped bool
-	Phases  Phases // populated for cold starts
+	// Failed marks an injected failure: the boot never produced an
+	// instance, or the instance crashed mid-execution. Unlike Dropped
+	// (resources exhausted), the work itself broke.
+	Failed bool
+	Phases Phases // populated for cold starts
 }
 
 // Completion is a compact record for time-series analyses (Figure 9).
@@ -126,6 +130,10 @@ type request struct {
 	// agent already committed to creating it — but the request itself
 	// must not run or complete a second time.
 	detached bool
+	// done marks a request that has delivered its Result (or was
+	// cancelled); a done request can never be cancelled or completed
+	// again.
+	done bool
 }
 
 type reqState int
@@ -200,6 +208,19 @@ func (cfg VMConfig) BootFootprintBytes() int64 {
 	return boot + shared
 }
 
+// FaultInjector is the host's fault-injection window state, consulted
+// at decision points (fault.Injector implements it). FailCold and
+// CrashExec are probabilistic draws from the host's deterministic
+// decision stream; ReclaimStall and ReclaimFraction are passed through
+// to the reclaim backends, whose FaultHooks interfaces this one
+// subsumes.
+type FaultInjector interface {
+	FailCold() bool
+	CrashExec() bool
+	ReclaimStall() sim.Duration
+	ReclaimFraction() float64
+}
+
 // FuncVM is one N:1 VM with its in-guest agent state.
 type FuncVM struct {
 	Cfg    VMConfig
@@ -213,6 +234,9 @@ type FuncVM struct {
 	// obs records the host's cold-start phases and reclaim outcomes; nil
 	// when tracing is off (the common case — every use is nil-guarded).
 	obs *obs.Recorder
+	// faults injects boot failures and crashes; nil when fault
+	// injection is off (the common case — every use is nil-guarded).
+	faults FaultInjector
 
 	instBytes int64 // block-aligned per-instance memory
 	instances map[*Instance]struct{}
@@ -245,6 +269,8 @@ type FuncVM struct {
 	ColdStarts     int
 	WarmStarts     int
 	DroppedReqs    int
+	FailedReqs     int // injected boot failures and crashes
+	CancelledReqs  int // requests cancelled via Ticket.TryCancel
 	Evictions      int
 	ReclaimedBytes int64
 	ReclaimTime    sim.Duration
@@ -255,7 +281,7 @@ type FuncVM struct {
 
 // NewFuncVM boots an N:1 VM on the host with the configured backend.
 func NewFuncVM(sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model, broker *Broker, cfg VMConfig) *FuncVM {
-	return newFuncVM(nil, sched, host, cost, broker, nil, cfg)
+	return newFuncVM(nil, sched, host, cost, broker, nil, nil, cfg)
 }
 
 // newFuncVM is NewFuncVM with an optional recycler: the agent shell and
@@ -263,7 +289,7 @@ func NewFuncVM(sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model, 
 // arenas draw from the pool's guestos cache. Every observable field is
 // (re-)initialized here, so a recycled FuncVM is indistinguishable from
 // a fresh one.
-func newFuncVM(rec *Recycler, sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model, broker *Broker, recorder *obs.Recorder, cfg VMConfig) *FuncVM {
+func newFuncVM(rec *Recycler, sched *sim.Scheduler, host *hostmem.Host, cost *costmodel.Model, broker *Broker, recorder *obs.Recorder, faults FaultInjector, cfg VMConfig) *FuncVM {
 	if cfg.N <= 0 {
 		panic("faas: concurrency factor must be positive")
 	}
@@ -318,6 +344,7 @@ func newFuncVM(rec *Recycler, sched *sim.Scheduler, host *hostmem.Host, cost *co
 		fv.pumping, fv.pumpAgain = false, false
 		fv.sq, fv.vmem = nil, nil
 		fv.ColdStarts, fv.WarmStarts, fv.DroppedReqs, fv.Evictions = 0, 0, 0, 0
+		fv.FailedReqs, fv.CancelledReqs = 0, 0
 		fv.ReclaimedBytes, fv.ReclaimTime, fv.ReclaimOps = 0, 0, 0
 		fv.PlugTime, fv.PlugOps = 0, 0
 	}
@@ -326,6 +353,7 @@ func newFuncVM(rec *Recycler, sched *sim.Scheduler, host *hostmem.Host, cost *co
 	fv.Broker = broker
 	fv.VM = vm
 	fv.obs = recorder
+	fv.faults = faults
 	fv.instBytes = instBytes
 	fv.rng = rand.New(rand.NewPCG(h.Sum64(), 0x5a5a))
 	fv.recycle = rec
@@ -345,6 +373,9 @@ func newFuncVM(rec *Recycler, sched *sim.Scheduler, host *hostmem.Host, cost *co
 			SharedBytes:    sharedBytes,
 		})
 		fv.sq.Obs = recorder
+		if faults != nil {
+			fv.sq.Faults = faults
+		}
 	default:
 		// Static, VirtioMem and Harvest back instances from
 		// ZONE_MOVABLE; the span covers N instances plus the shared
@@ -361,6 +392,9 @@ func newFuncVM(rec *Recycler, sched *sim.Scheduler, host *hostmem.Host, cost *co
 		} else {
 			fv.vmem = virtiomem.New(fv.K)
 			fv.vmem.Obs = recorder
+			if faults != nil {
+				fv.vmem.Faults = faults
+			}
 			// The shared page cache needs backing from the start.
 			fv.vmem.Plug(sharedBytes, func(plugged int64) {
 				if plugged < sharedBytes {
@@ -408,9 +442,57 @@ func (fv *FuncVM) HarvestBufferBytes() int64 { return fv.harvestBuffer }
 // Invoke submits a request for fn at the current virtual time. onDone
 // may be nil.
 func (fv *FuncVM) Invoke(fn *workload.Function, onDone func(Result)) {
+	fv.Submit(fn, onDone)
+}
+
+// Submit is Invoke returning a Ticket for best-effort cancellation
+// (used by the cluster dispatcher's hedged-dispatch first-wins
+// cleanup).
+func (fv *FuncVM) Submit(fn *workload.Function, onDone func(Result)) Ticket {
 	req := &request{fn: fn, arrival: fv.Sched.Now(), onDone: onDone}
 	fv.queue = append(fv.queue, req)
 	fv.pump()
+	return Ticket{fv: fv, req: req}
+}
+
+// Ticket is a handle on a submitted request for best-effort
+// cancellation. The zero Ticket is valid and never cancels anything.
+type Ticket struct {
+	fv  *FuncVM
+	req *request
+}
+
+// TryCancel withdraws the request if it has not started running:
+// queued requests leave the queue, acquiring requests give their
+// memory grant back. A request that reached an instance (or already
+// completed) cannot be cancelled — TryCancel reports false and the
+// request runs to completion as usual.
+func (t Ticket) TryCancel() bool {
+	req := t.req
+	if req == nil || req.done {
+		return false
+	}
+	switch req.state {
+	case reqQueued:
+		t.fv.removeRequest(req)
+		req.done = true
+		t.fv.CancelledReqs++
+		t.fv.pump()
+		return true
+	case reqAcquiring:
+		t.fv.removeRequest(req)
+		if req.grant != nil {
+			req.grant.Cancel()
+			req.grant = nil
+		}
+		t.fv.starting--
+		req.done = true
+		t.fv.CancelledReqs++
+		t.fv.pump()
+		return true
+	default: // reqStarted: running, boot-failing, or served warm
+		return false
+	}
 }
 
 // InvokePrimary submits a request for the VM's primary function.
@@ -462,12 +544,60 @@ func (fv *FuncVM) dispatchOne() bool {
 		if fv.LiveInstances() >= fv.Cfg.N {
 			return false
 		}
+		if fv.faults != nil && fv.faults.FailCold() {
+			// Injected boot failure: the dispatch claims its slot and
+			// burns the boot delay, then fails instead of producing an
+			// instance.
+			fv.removeRequest(req)
+			req.state = reqStarted
+			fv.starting++
+			fv.failBoot(req)
+			return true
+		}
 		fv.starting++
 		req.state = reqAcquiring
 		fv.acquireMemory(req)
 		return true
 	}
 	return false
+}
+
+// failBoot models a cold dispatch whose instance boot fails: the boot
+// delay elapses, then the caller gets an error Result.
+func (fv *FuncVM) failBoot(req *request) {
+	fv.Sched.After(fv.VM.Cost.MicroVMBoot, func() {
+		fv.starting--
+		fv.FailedReqs++
+		if fv.obs != nil {
+			fv.obs.Count("faults/boot_fails", 1)
+			fv.obs.Instant("boot-fail: "+req.fn.Name, obs.CatFault)
+		}
+		req.done = true
+		if req.onDone != nil {
+			req.onDone(Result{Fn: req.fn, Arrival: req.arrival, Done: fv.Sched.Now(), Failed: true})
+		}
+		fv.pump()
+	})
+}
+
+// crashInstance kills an instance mid-execution (injected fault): the
+// instance dies, its memory is reclaimed, and the request fails. There
+// is no agent-level retry — recovering from crashes is the cluster
+// dispatcher's job.
+func (fv *FuncVM) crashInstance(inst *Instance, req *request) {
+	delete(fv.instances, inst)
+	fv.K.Exit(inst.proc)
+	fv.releaseInstanceMemory()
+	fv.FailedReqs++
+	if fv.obs != nil {
+		fv.obs.Count("faults/crashes", 1)
+		fv.obs.Instant("crash: "+req.fn.Name, obs.CatFault)
+	}
+	req.done = true
+	if req.onDone != nil {
+		req.onDone(Result{Fn: req.fn, Arrival: req.arrival, Done: fv.Sched.Now(), Failed: true})
+	}
+	fv.pump()
 }
 
 func (fv *FuncVM) removeQueued(i int) {
@@ -732,6 +862,15 @@ func (fv *FuncVM) runColdPhases(inst *Instance, req *request, phases Phases) {
 						return
 					}
 					execStart := fv.Sched.Now()
+					if fv.faults != nil && fv.faults.CrashExec() {
+						// Injected crash: half the execution runs, then
+						// the instance dies.
+						fv.VM.VCPUs.Submit((fn.ExecCPU+execWork)/2, cpu.Config{
+							Name: fn.Name + "/exec", Class: "function", Weight: fn.CPUShares, Cap: maxf(fn.CPUShares, 0.1),
+							OnDone: func() { fv.crashInstance(inst, req) },
+						})
+						return
+					}
 					fv.VM.VCPUs.Submit(fn.ExecCPU+execWork, cpu.Config{
 						Name: fn.Name + "/exec", Class: "function", Weight: fn.CPUShares, Cap: maxf(fn.CPUShares, 0.1),
 						OnDone: func() {
@@ -755,6 +894,15 @@ func (fv *FuncVM) runWarm(inst *Instance, req *request) {
 	inst.kaEvent = sim.Event{}
 	inst.state = instBusy
 	fn := inst.fn
+	if fv.faults != nil && fv.faults.CrashExec() {
+		// Injected crash: half the execution runs, then the instance
+		// dies.
+		fv.VM.VCPUs.Submit(fn.WarmExecCPU/2, cpu.Config{
+			Name: fn.Name + "/exec", Class: "function", Weight: fn.CPUShares, Cap: maxf(fn.CPUShares, 0.1),
+			OnDone: func() { fv.crashInstance(inst, req) },
+		})
+		return
+	}
 	fv.VM.VCPUs.Submit(fn.WarmExecCPU, cpu.Config{
 		Name: fn.Name + "/exec", Class: "function", Weight: fn.CPUShares, Cap: maxf(fn.CPUShares, 0.1),
 		OnDone: func() {
@@ -783,6 +931,7 @@ func (fv *FuncVM) completeRequest(inst *Instance, req *request, cold bool, phase
 	inst.idleSince = now
 	fv.idle = append(fv.idle, inst)
 	inst.kaEvent = fv.Sched.After(fv.Cfg.KeepAlive, func() { fv.Evict(inst) })
+	req.done = true
 	if req.onDone != nil {
 		req.onDone(res)
 	}
@@ -796,6 +945,7 @@ func (fv *FuncVM) failRequest(req *request) {
 		req.grant.Cancel()
 		req.grant = nil
 	}
+	req.done = true
 	if req.onDone != nil {
 		req.onDone(Result{Fn: req.fn, Arrival: req.arrival, Done: fv.Sched.Now(), Dropped: true})
 	}

@@ -35,6 +35,12 @@ type Runtime struct {
 	// VMs AddVM hands it to. Set it before the first AddVM.
 	Obs *obs.Recorder
 
+	// Faults, when non-nil, is the host's fault-injection window state;
+	// AddVM hands it to every VM (boot failures, crashes) and to the
+	// VM's reclaim backend (stalled/partial commands). Set it before
+	// the first AddVM.
+	Faults FaultInjector
+
 	reclaimInFlight int64         // pages expected from in-flight evictions
 	reclaimRecs     []*reclaimRec // outstanding evictions, oldest first
 }
@@ -67,7 +73,7 @@ func (r *Runtime) AddVM(cfg VMConfig) *FuncVM {
 	if cfg.Recycle == nil && r.Recycle != nil {
 		cfg.Recycle = r.Recycle.Kernels
 	}
-	fv := newFuncVM(r.Recycle, r.Sched, r.Host, r.Cost, r.Broker, r.Obs, cfg)
+	fv := newFuncVM(r.Recycle, r.Sched, r.Host, r.Cost, r.Broker, r.Obs, r.Faults, cfg)
 	r.VMs = append(r.VMs, fv)
 	return fv
 }

@@ -28,6 +28,10 @@ const (
 	// CatFleet covers fleet-shape changes: join/fail/drain/autoscale
 	// decisions with the pressure numbers that drove them.
 	CatFleet Cat = "fleet"
+	// CatFault covers injected faults and the dispatcher's recovery
+	// behavior: fault windows opening/closing, boot failures and
+	// crashes, attempt timeouts, retries, hedges, and load sheds.
+	CatFault Cat = "fault"
 )
 
 // Event phase codes (Chrome trace-event "ph").

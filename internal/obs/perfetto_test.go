@@ -26,6 +26,10 @@ func testTrace() *Trace {
 	fl.Instant("dispatch/warm: f0", CatInvoke, I("host", 0))
 	fl.Gauge("autoscale/pressure", CatFleet, 0.4)
 	fl.Count("invocations", 2)
+	clk.t = sim.Time(2 * sim.Millisecond)
+	fl.Instant("fault-open: cold-fail", CatFault, I("host", -1), F("mag", 0.5))
+	fl.Instant("retry: f1", CatFault, I("retry", 1), I("backoff_ms", 250))
+	fl.Count("resil/retries", 1)
 
 	h := tr.HostTrack(0, clk)
 	// Two overlapping spans -> two lanes; a third after both -> lane 0.

@@ -44,6 +44,15 @@ type UnplugResult struct {
 	Latency sim.Duration
 }
 
+// FaultHooks degrades the device for fault-injection windows: a
+// non-zero ReclaimStall delays every command completion (the command
+// occupies the device queue the whole time), and a ReclaimFraction
+// below 1 caps how much of an unplug request is attempted.
+type FaultHooks interface {
+	ReclaimStall() sim.Duration
+	ReclaimFraction() float64
+}
+
 // Driver is the guest-side virtio-mem driver bound to one VM's movable
 // zone.
 type Driver struct {
@@ -54,10 +63,26 @@ type Driver struct {
 	// migrate/zero page detail; recording never alters the command.
 	Obs *obs.Recorder
 
+	// Faults, when non-nil, injects stalled and partial commands.
+	Faults FaultHooks
+
 	// pending serializes requests: the device processes one command at
 	// a time.
 	busy    bool
 	pending []func()
+}
+
+// deliver completes a command, imposing the injected stall first; the
+// stall happens inside the device's busy window, so queued commands
+// wait behind it and the runtime's ReclaimDrainTimeout can fire.
+func (d *Driver) deliver(fn func()) {
+	if d.Faults != nil {
+		if stall := d.Faults.ReclaimStall(); stall > 0 {
+			d.K.VM.Sched.After(stall, fn)
+			return
+		}
+	}
+	fn()
 }
 
 // New creates a driver for the kernel's movable zone.
@@ -120,12 +145,14 @@ func (d *Driver) Plug(bytes int64, onDone func(plugged int64)) {
 		plugged := onlined * units.BlockSize
 		start := vm.Sched.Now()
 		vmm.RunChain(vm.Sched, steps, func(_ *stats.Breakdown, _ sim.Duration) {
-			if d.Obs != nil {
-				d.Obs.Span("virtio-mem/plug", obs.CatMemory, start,
-					obs.I("plugged_bytes", plugged), obs.I("blocks", onlined))
-			}
-			d.finish()
-			onDone(plugged)
+			d.deliver(func() {
+				if d.Obs != nil {
+					d.Obs.Span("virtio-mem/plug", obs.CatMemory, start,
+						obs.I("plugged_bytes", plugged), obs.I("blocks", onlined))
+				}
+				d.finish()
+				onDone(plugged)
+			})
 		})
 	})
 }
@@ -143,6 +170,13 @@ func (d *Driver) unplug(bytes int64, onDone func(UnplugResult)) {
 	vm := d.K.VM
 	zone := d.K.Movable
 	want := units.BytesToBlocks(bytes)
+	if d.Faults != nil {
+		if f := d.Faults.ReclaimFraction(); f < 1 {
+			// Partial command: the degraded device attempts only a
+			// fraction of the request (possibly none of it).
+			want = int64(float64(want) * f)
+		}
+	}
 
 	candidates := zone.OnlineBlocks()
 	switch d.Policy {
@@ -223,28 +257,30 @@ func (d *Driver) unplug(bytes int64, onDone func(UnplugResult)) {
 	blocks := append([]int(nil), offlined...)
 	start := vm.Sched.Now()
 	vmm.RunChain(vm.Sched, steps, func(bd *stats.Breakdown, total sim.Duration) {
-		// Hot-remove done: the hypervisor madvise()s the frames away and
-		// the commit budget returns to the host.
-		for _, b := range blocks {
-			start, count := zone.BlockRange(b)
-			d.K.ReleaseRange(start, count)
-			vm.Uncommit(count)
-		}
-		res := UnplugResult{
-			RequestedBytes: bytes,
-			ReclaimedBytes: reclaimed,
-			MigratedPages:  migratedPages,
-			ZeroedPages:    zeroedPages,
-			Breakdown:      bd,
-			Latency:        total,
-		}
-		if d.Obs != nil {
-			d.Obs.Span("virtio-mem/unplug", obs.CatMemory, start,
-				obs.I("requested_bytes", bytes), obs.I("reclaimed_bytes", reclaimed),
-				obs.I("migrated_pages", migratedPages), obs.I("zeroed_pages", zeroedPages),
-				obs.I("blocks", int64(len(blocks))))
-		}
-		d.finish()
-		onDone(res)
+		d.deliver(func() {
+			// Hot-remove done: the hypervisor madvise()s the frames away
+			// and the commit budget returns to the host.
+			for _, b := range blocks {
+				start, count := zone.BlockRange(b)
+				d.K.ReleaseRange(start, count)
+				vm.Uncommit(count)
+			}
+			res := UnplugResult{
+				RequestedBytes: bytes,
+				ReclaimedBytes: reclaimed,
+				MigratedPages:  migratedPages,
+				ZeroedPages:    zeroedPages,
+				Breakdown:      bd,
+				Latency:        total,
+			}
+			if d.Obs != nil {
+				d.Obs.Span("virtio-mem/unplug", obs.CatMemory, start,
+					obs.I("requested_bytes", bytes), obs.I("reclaimed_bytes", reclaimed),
+					obs.I("migrated_pages", migratedPages), obs.I("zeroed_pages", zeroedPages),
+					obs.I("blocks", int64(len(blocks))))
+			}
+			d.finish()
+			onDone(res)
+		})
 	})
 }

@@ -41,6 +41,13 @@ type Function struct {
 	// GuestOSBytes is the guest kernel + agent footprint a dedicated
 	// 1:1 microVM replicates per instance (§6.3).
 	GuestOSBytes int64
+
+	// Priority is the invocation's shedding class: under memory
+	// pressure the dispatcher sheds priority 0 first, and higher
+	// priorities survive until the fleet is essentially full
+	// (costmodel.ShedBase/ShedStep). Zero-value functions are lowest
+	// priority, which keeps single-VM experiments unaffected.
+	Priority int
 }
 
 // InitAnonBytes returns the portion of AnonBytes touched during
@@ -100,6 +107,9 @@ func Fleet(n int) []*Function {
 	for i := range fleet {
 		f := *base[i%len(base)]
 		f.Name = fmt.Sprintf("f%03d-%s", i, f.Name)
+		// Spread shedding classes across ranks so every priority mixes
+		// hot and cold functions.
+		f.Priority = i % 3
 		fleet[i] = &f
 	}
 	return fleet
