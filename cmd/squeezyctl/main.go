@@ -43,11 +43,19 @@
 //	             JSON
 //	-faults S    overlay a fault plan on every fleet experiment cell:
 //	             a named scenario (reclaim-degrade, cold-crash,
-//	             straggler; none is the empty plan) or "fuzz" for a
+//	             straggler; none is the empty plan), a rack-level
+//	             scenario (rack-fail, zone-degrade, rack-partition —
+//	             meaningful only with -topology), or "fuzz" for a
 //	             random plan derived from -faultseed. Single-host
 //	             experiments ignore it
 //	-faultseed N seed for fuzzed fault plans and every host's fault
 //	             decision stream (default: -seed)
+//	-topology RxZ  overlay a rack/zone topology on every fleet
+//	             experiment cell: R racks spread over Z zones (e.g.
+//	             -topology 4x2), hosts assigned round-robin. Enables
+//	             the rack-level fault scenarios and makes the
+//	             blast-radius-aware policies (spread, zone-headroom)
+//	             meaningful; a bare R means Z=1
 //	-cpuprofile FILE  write a pprof CPU profile of the run to FILE
 //	-memprofile FILE  write a pprof heap profile at exit to FILE
 package main
@@ -71,7 +79,7 @@ import (
 )
 
 // validFaultScenario accepts the empty string (fault-free), any named
-// scenario, or the fuzzed-plan keyword.
+// scenario — host-level or rack-level — or the fuzzed-plan keyword.
 func validFaultScenario(name string) bool {
 	if name == "" || name == "fuzz" {
 		return true
@@ -81,7 +89,35 @@ func validFaultScenario(name string) bool {
 			return true
 		}
 	}
+	for _, s := range fault.DomainScenarioNames() {
+		if name == s {
+			return true
+		}
+	}
 	return false
+}
+
+// parseTopology parses a -topology value: "RxZ" (racks x zones) or a
+// bare "R" (one zone). "" means no topology.
+func parseTopology(s string) (racks, zones int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	r, z := s, ""
+	if i := strings.IndexByte(s, 'x'); i >= 0 {
+		r, z = s[:i], s[i+1:]
+	}
+	racks, err = strconv.Atoi(r)
+	if err == nil && z != "" {
+		zones, err = strconv.Atoi(z)
+	}
+	if z == "" {
+		zones = 1
+	}
+	if err != nil || racks < 1 || zones < 1 || zones > racks {
+		return 0, 0, fmt.Errorf("bad -topology %q (want RxZ with 1 <= Z <= R, e.g. 4x2)", s)
+	}
+	return racks, zones, nil
 }
 
 // cellStatsFlag is the tri-state -cellstats value: "" (off), "text"
@@ -123,6 +159,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	faults := flag.String("faults", "", `fault scenario for fleet experiments (a fault.ScenarioNames() name or "fuzz")`)
 	faultSeed := flag.Uint64("faultseed", 0, "seed for fuzzed fault plans and fault decision streams (0 = -seed)")
+	topology := flag.String("topology", "", "rack/zone topology for fleet experiments, RxZ (e.g. 4x2; empty = flat fleet)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -231,8 +268,14 @@ func main() {
 	}
 
 	if !validFaultScenario(*faults) {
-		fmt.Fprintf(os.Stderr, "squeezyctl: unknown -faults scenario %q (want %s, or fuzz)\n",
-			*faults, strings.Join(fault.ScenarioNames(), ", "))
+		fmt.Fprintf(os.Stderr, "squeezyctl: unknown -faults scenario %q (want %s, %s, or fuzz)\n",
+			*faults, strings.Join(fault.ScenarioNames(), ", "),
+			strings.Join(fault.DomainScenarioNames(), ", "))
+		os.Exit(2)
+	}
+	topoRacks, topoZones, terr := parseTopology(*topology)
+	if terr != nil {
+		fmt.Fprintln(os.Stderr, "squeezyctl:", terr)
 		os.Exit(2)
 	}
 
@@ -243,6 +286,7 @@ func main() {
 	opts := experiments.Options{
 		Seed: *seed, Quick: *quick, Obs: sink,
 		FaultScenario: *faults, FaultSeed: *faultSeed,
+		TopoRacks: topoRacks, TopoZones: topoZones,
 	}
 	reports, stats, err := experiments.RunWithCellStats(names, opts, *trials, workers)
 	if err == nil {

@@ -46,6 +46,16 @@ type Config struct {
 	// dispatch, load shedding (resilience.go). nil preserves the plain
 	// dispatch path bit-for-bit.
 	Resilience *ResilienceConfig
+	// Topology, when non-nil, places hosts into failure domains
+	// (topology.go) and optionally gives them heterogeneous memory.
+	// nil is a flat fleet: domain fault events are no-ops and the
+	// domain-aware policies degrade to headroom scoring.
+	Topology *Topology
+	// Repace, when non-nil, turns on recovery-storm control
+	// (repace.go): displaced in-flight work re-dispatches through a
+	// paced, priority-ordered queue instead of slamming the survivors
+	// in one boundary. nil preserves immediate re-placement bit-for-bit.
+	Repace *RepaceConfig
 }
 
 // Node is one simulated host: a private scheduler, memory pool, and
@@ -56,6 +66,10 @@ type Config struct {
 type Node struct {
 	ID      int
 	Backend faas.BackendKind
+	// Rack and Zone are the host's failure domains (both 0 on a flat
+	// fleet), fixed at construction from Config.Topology.
+	Rack int
+	Zone int
 	// Sched is the host's private event scheduler. All of the host's
 	// simulation state (runtime, broker, VMs, kernels) lives on it;
 	// the dispatcher only touches it at epoch boundaries, when the
@@ -84,6 +98,11 @@ type Node struct {
 	// placements, draining hosts only finish what they have, dead hosts
 	// never advance again.
 	state nodeState
+	// partitioned counts the open RackPartition windows covering this
+	// host (faults.go). While > 0 an active host leaves the placement
+	// set but keeps advancing; a counter rather than a flag so
+	// overlapping windows stack and unwind correctly.
+	partitioned int
 	// inflight is the host's dispatcher-routed invocations that have not
 	// completed, in routing order. The dispatcher appends at route time
 	// (host paused at a boundary); the completion wrapper removes
@@ -226,6 +245,14 @@ type Metrics struct {
 	Replaced int
 	// WarmLost counts warm idle instances destroyed by host failures.
 	WarmLost int
+	// RackEvents counts domain fault events that actually expanded onto
+	// at least one live host (dangling racks and flat fleets don't
+	// count — they are no-ops).
+	RackEvents int
+	// Paced counts displaced invocations that went through the paced
+	// re-placement queue instead of re-dispatching immediately
+	// (repace.go); each also counts in Replaced once dispatched.
+	Paced int
 
 	// Resilience counters (resilience.go), written by the serial
 	// dispatcher only: invocations shed at admission under memory
@@ -305,6 +332,14 @@ type ShardedCluster struct {
 	faultSeed uint64
 	faultsOn  bool
 
+	// Recovery-storm control (repace.go): repace is the normalized
+	// pacing config (nil = immediate re-placement), repaceQ the
+	// priority-ordered queue of displaced work, repaceAt the next
+	// pacing boundary (0 = unarmed).
+	repace   *RepaceConfig
+	repaceQ  []repaceEntry
+	repaceAt sim.Time
+
 	// Observability (internal/obs): obsT is the run's trace, fleetObs its
 	// fleet-level recorder written only by the serial dispatcher. Both are
 	// nil when tracing is off — the common case, which every call site
@@ -345,6 +380,10 @@ func (cfg Config) withDefaults() Config {
 		r := cfg.Resilience.withDefaults()
 		cfg.Resilience = &r
 	}
+	if cfg.Repace != nil {
+		r := cfg.Repace.withDefaults()
+		cfg.Repace = &r
+	}
 	return cfg
 }
 
@@ -365,6 +404,8 @@ func NewSharded(cost *costmodel.Model, cfg Config, policy Policy) *ShardedCluste
 	c.active = append(c.active, c.Nodes...)
 	c.live = append(c.live, c.Nodes...)
 	c.resil = c.Cfg.Resilience
+	c.repace = c.Cfg.Repace
+	bindPolicy(policy, c)
 	return c
 }
 
@@ -378,14 +419,17 @@ func fleetPhases(bounds []sim.Time) (cold, all *stats.PhasedSample) {
 
 // newNode builds one host under the cluster's current config.
 func (c *ShardedCluster) newNode(id int) *Node {
+	topo := c.Cfg.Topology
 	sched := sim.NewScheduler()
-	host := hostmem.New(c.Cfg.HostMemBytes)
+	host := hostmem.New(topo.HostMem(id, c.Cfg.HostMemBytes))
 	rec := faas.NewRecycler()
 	rt := faas.NewRuntime(sched, host, c.Cost)
 	rt.ProactiveFactor = c.Cfg.ProactiveFactor
 	rt.Recycle = rec
+	rack := topo.RackOf(id)
 	n := &Node{
-		ID: id, Backend: c.Cfg.Backend, Sched: sched, Host: host, RT: rt, Rec: rec,
+		ID: id, Backend: c.Cfg.Backend, Rack: rack, Zone: topo.ZoneOfRack(rack),
+		Sched: sched, Host: host, RT: rt, Rec: rec,
 		M:   newNodeMetrics(),
 		vms: make(map[string]*faas.FuncVM),
 	}
@@ -413,8 +457,10 @@ func (c *ShardedCluster) Reset(cost *costmodel.Model, cfg Config, policy Policy)
 	for i, n := range c.Nodes {
 		n.ID = i
 		n.Backend = c.Cfg.Backend
+		n.Rack = c.Cfg.Topology.RackOf(i)
+		n.Zone = c.Cfg.Topology.ZoneOfRack(n.Rack)
 		n.Sched.Reset()
-		n.Host.Reset(c.Cfg.HostMemBytes)
+		n.Host.Reset(c.Cfg.Topology.HostMem(i, c.Cfg.HostMemBytes))
 		rt := faas.NewRuntime(n.Sched, n.Host, cost)
 		rt.ProactiveFactor = c.Cfg.ProactiveFactor
 		rt.Recycle = n.Rec
@@ -422,6 +468,7 @@ func (c *ShardedCluster) Reset(cost *costmodel.Model, cfg Config, policy Policy)
 		n.M.reset()
 		n.M.initPhases(c.Cfg.PhaseBounds)
 		n.state = nodeActive
+		n.partitioned = 0
 		n.Obs = nil
 		clear(n.inflight) // drop stale *flight pointers
 		n.inflight = n.inflight[:0]
@@ -447,15 +494,21 @@ func (c *ShardedCluster) Reset(cost *costmodel.Model, cfg Config, policy Policy)
 	clear(c.faultOpen)
 	c.faultQ, c.faultOpen = c.faultQ[:0], c.faultOpen[:0]
 	c.faultSeed, c.faultsOn = 0, false
+	c.repace = c.Cfg.Repace
+	clear(c.repaceQ) // drop stale *flight/*rflight pointers
+	c.repaceQ = c.repaceQ[:0]
+	c.repaceAt = 0
 	c.obsT, c.fleetObs = nil, nil
 	c.autoscale = nil
 	c.lastScale, c.scaled = 0, false
 	c.shardsWanted = 0
 	c.shardNodes, c.shardTasks, c.drainTasks = nil, nil, nil
+	bindPolicy(policy, c)
 	m := &c.Metrics
 	m.Invocations, m.ColdStarts, m.WarmStarts, m.Dropped, m.AdmissionDrops = 0, 0, 0, 0, 0
 	m.Failed = 0
 	m.HostJoins, m.HostFails, m.HostDrains, m.Replaced, m.WarmLost = 0, 0, 0, 0, 0
+	m.RackEvents, m.Paced = 0, 0
 	m.Shed, m.Retries, m.Hedges, m.HedgeWins, m.TimedOut = 0, 0, 0, 0, 0
 	m.ColdLatMs.Reset()
 	m.WarmLatMs.Reset()
@@ -530,6 +583,10 @@ func (c *ShardedCluster) Invoke(fn *workload.Function, onDone func(faas.Result))
 	}
 	if c.resil != nil {
 		c.invokeResilient(fn, onDone)
+		return
+	}
+	if c.repace != nil && c.repace.Shed && c.shouldShed(fn) {
+		c.shedInvocation(fn, onDone)
 		return
 	}
 	c.route(&flight{fn: fn, arrival: c.now, onDone: onDone})
@@ -843,7 +900,36 @@ func (c *ShardedCluster) SampleMemory() {
 	if c.fleetObs != nil {
 		c.fleetObs.Gauge("mem/committed_gib", obs.CatMemory, committedGiB)
 		c.fleetObs.Gauge("mem/populated_gib", obs.CatMemory, populatedGiB)
+		if topo := c.Cfg.Topology; topo != nil && topo.Racks > 1 {
+			for rack := 0; rack < topo.Racks; rack++ {
+				var rc int64
+				for _, n := range c.live {
+					if n.Rack == rack {
+						rc += n.Host.CommittedPages()
+					}
+				}
+				c.fleetObs.Gauge(fmt.Sprintf("mem/rack%d/committed_gib", rack), obs.CatMemory,
+					float64(units.PagesToBytes(rc))/float64(units.GiB))
+			}
+		}
 	}
+}
+
+// activeCapacityPages sums the placement-eligible hosts' real memory
+// capacities. On a uniform fleet this equals len(active) * the per-host
+// capacity, but heterogeneous topologies make that product wrong — the
+// autoscaler, the shed signal, and the hedge gate all divide by this
+// sum. Zero means unlimited (some host has no capacity bound).
+func (c *ShardedCluster) activeCapacityPages() int64 {
+	var total int64
+	for _, n := range c.active {
+		cp := n.Host.CapacityPages()
+		if cp == 0 {
+			return 0
+		}
+		total += cp
+	}
+	return total
 }
 
 // MemoryEfficiency returns the time-averaged fraction of committed host

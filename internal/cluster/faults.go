@@ -105,6 +105,10 @@ func (c *ShardedCluster) fireFaultEvents(t sim.Time) {
 // openFaultWindow resolves the event's target hosts, opens the window
 // on each, and records the applied set so the close mirrors it.
 func (c *ShardedCluster) openFaultWindow(ev fault.Event) {
+	if ev.Kind.Domain() {
+		c.openDomainFault(ev)
+		return
+	}
 	var hosts []*Node
 	switch {
 	case ev.Host < 0:
@@ -132,6 +136,105 @@ func (c *ShardedCluster) openFaultWindow(ev fault.Event) {
 	}
 }
 
+// openDomainFault expands one rack-level event onto the rack's live
+// members at the boundary. The expansion is a pure function of the
+// fleet state every worker agrees on at the boundary (live membership
+// in host-ID order) plus, for partial RackFail, the counter-mode
+// fault.DomainDraw — so losing rack 2 of 4 is one plan entry that
+// plays out identically at every shard and worker count. A fleet with
+// no topology, a dangling rack index, or a rack with no live members
+// makes the event a deterministic no-op — the domain mirror of the
+// dangling-host contract.
+func (c *ShardedCluster) openDomainFault(ev fault.Event) {
+	topo := c.Cfg.Topology
+	if !topo.ValidRack(ev.Host) {
+		return
+	}
+	var hosts []*Node
+	for _, n := range c.live {
+		if n.Rack == ev.Host {
+			hosts = append(hosts, n)
+		}
+	}
+	if len(hosts) == 0 {
+		return
+	}
+	c.Metrics.RackEvents++
+	if c.fleetObs != nil {
+		c.fleetObs.Count("faults/rack_events", 1)
+		c.fleetObs.Instant("fault-open: "+ev.Kind.String(), obs.CatFault,
+			obs.I("rack", int64(ev.Host)), obs.I("zone", int64(topo.ZoneOfRack(ev.Host))),
+			obs.F("mag", ev.Mag), obs.I("targets", int64(len(hosts))))
+	}
+	switch ev.Kind {
+	case fault.RackFail:
+		for _, n := range hosts {
+			if ev.Mag < 1 && fault.DomainDraw(c.faultSeed, ev, n.ID) >= ev.Mag {
+				continue
+			}
+			if !c.canRemove(n) {
+				continue
+			}
+			c.failHost(n)
+		}
+	case fault.RackDegrade:
+		for _, n := range hosts {
+			n.inj.Open(rackStraggler(ev, n))
+			c.applyStraggler(n)
+		}
+		c.insertOpenFault(openFault{ev: ev, until: ev.T.Add(ev.Dur), hosts: hosts})
+	case fault.RackPartition:
+		for _, n := range hosts {
+			c.partitionHost(n)
+		}
+		c.insertOpenFault(openFault{ev: ev, until: ev.T.Add(ev.Dur), hosts: hosts})
+	}
+}
+
+// rackStraggler synthesizes the per-host window a RackDegrade expands
+// to: a Straggler of the same magnitude keyed to the host, so the
+// close can re-synthesize the identical value and match it in the
+// injector's active list.
+func rackStraggler(ev fault.Event, n *Node) fault.Event {
+	return fault.Event{T: ev.T, Dur: ev.Dur, Kind: fault.Straggler, Host: n.ID, Mag: ev.Mag}
+}
+
+// partitionHost isolates the host from the dispatcher: it leaves the
+// placement-eligible set but keeps advancing, so in-flight work
+// completes normally — the control plane just routes around the rack.
+func (c *ShardedCluster) partitionHost(n *Node) {
+	n.partitioned++
+	if n.partitioned == 1 && n.state == nodeActive {
+		c.active = removeNode(c.active, n)
+	}
+}
+
+// unpartitionHost heals one partition window. The host rejoins the
+// placement set in host-ID order only when no other window still
+// covers it and it is still active (a host drained or killed
+// mid-partition stays out).
+func (c *ShardedCluster) unpartitionHost(n *Node) {
+	if n.partitioned > 0 {
+		n.partitioned--
+	}
+	if n.partitioned == 0 && n.state == nodeActive {
+		c.active = insertNode(c.active, n)
+	}
+}
+
+// insertNode inserts n into the ID-ordered slice — the inverse of
+// removeNode, for partition heals.
+func insertNode(nodes []*Node, n *Node) []*Node {
+	i := len(nodes)
+	for i > 0 && nodes[i-1].ID > n.ID {
+		i--
+	}
+	nodes = append(nodes, nil)
+	copy(nodes[i+1:], nodes[i:])
+	nodes[i] = n
+	return nodes
+}
+
 // insertOpenFault keeps the active-window list sorted by expiry, FIFO
 // among equal expiries.
 func (c *ShardedCluster) insertOpenFault(of openFault) {
@@ -152,9 +255,17 @@ func (c *ShardedCluster) closeFault(of openFault) {
 		if n.state == nodeDead {
 			continue
 		}
-		n.inj.Close(of.ev)
-		if of.ev.Kind == fault.Straggler {
+		switch of.ev.Kind {
+		case fault.RackDegrade:
+			n.inj.Close(rackStraggler(of.ev, n))
 			c.applyStraggler(n)
+		case fault.RackPartition:
+			c.unpartitionHost(n)
+		default:
+			n.inj.Close(of.ev)
+			if of.ev.Kind == fault.Straggler {
+				c.applyStraggler(n)
+			}
 		}
 	}
 	if c.fleetObs != nil {

@@ -4,7 +4,6 @@ import (
 	"squeezy/internal/costmodel"
 	"squeezy/internal/obs"
 	"squeezy/internal/sim"
-	"squeezy/internal/units"
 )
 
 // Fleet dynamics: hosts join, fail, and drain while a trace plays.
@@ -161,10 +160,23 @@ func (c *ShardedCluster) victim(id int, allowDraining bool) *Node {
 	if n.state == nodeDraining && !allowDraining {
 		return nil
 	}
-	if n.state == nodeActive && len(c.active) <= 1 {
-		return nil // never remove the last active host
+	if !c.canRemove(n) {
+		return nil
 	}
 	return n
+}
+
+// canRemove reports whether removing n leaves the fleet serviceable:
+// never remove the last placement-eligible host, and never the last
+// live one (a partitioned host is live but not placement-eligible, so
+// both guards are needed once partitions exist). Shared by victim and
+// the rack-level expansion (faults.go), so a rack holding the whole
+// fleet degrades to a partial loss instead of an empty fleet.
+func (c *ShardedCluster) canRemove(n *Node) bool {
+	if n.state == nodeActive && n.partitioned == 0 && len(c.active) <= 1 {
+		return false
+	}
+	return len(c.live) > 1
 }
 
 // joinHost adds a fresh host at the fleet clock. The host ID is the
@@ -185,7 +197,8 @@ func (c *ShardedCluster) joinHost() *Node {
 	if c.fleetObs != nil {
 		c.fleetObs.Count("fleet/joins", 1)
 		c.fleetObs.Instant("host-join", obs.CatFleet,
-			obs.I("host", int64(n.ID)), obs.I("active", int64(len(c.active))))
+			obs.I("host", int64(n.ID)), obs.I("rack", int64(n.Rack)),
+			obs.I("active", int64(len(c.active))))
 	}
 	c.reshard()
 	return n
@@ -202,7 +215,8 @@ func (c *ShardedCluster) failHost(n *Node) {
 		c.fleetObs.Count("fleet/fails", 1)
 		c.fleetObs.Count("warm_lost", int64(warmLost))
 		c.fleetObs.Instant("host-fail", obs.CatFleet,
-			obs.I("host", int64(n.ID)), obs.I("warm_lost", int64(warmLost)),
+			obs.I("host", int64(n.ID)), obs.I("rack", int64(n.Rack)),
+			obs.I("warm_lost", int64(warmLost)),
 			obs.I("inflight", int64(len(n.inflight)+len(n.attempts))))
 	}
 	c.retire(n)
@@ -270,15 +284,21 @@ func (c *ShardedCluster) retire(n *Node) {
 }
 
 // replaceFlights re-places a retired host's in-flight invocations in
-// their original routing order. Each flight keeps its arrival time, so
-// its eventual latency pays for the lost work. Re-placement runs after
-// retirement: the dispatcher no longer sees the dead host.
+// their original routing order — immediately, or through the pacing
+// queue when recovery-storm control is on (repace.go). Each flight
+// keeps its arrival time, so its eventual latency pays for the lost
+// work. Re-placement runs after retirement: the dispatcher no longer
+// sees the dead host.
 func (c *ShardedCluster) replaceFlights(n *Node) {
 	flights := n.inflight
 	n.inflight = nil // ownership moves; the dead host drops its list
 	for _, fl := range flights {
-		c.Metrics.Replaced++
 		fl.replaced = true
+		if c.repace != nil {
+			c.queueRepace(repaceEntry{fl: fl, from: n.ID})
+			continue
+		}
+		c.Metrics.Replaced++
 		if c.fleetObs != nil {
 			c.fleetObs.Count("replaced", 1)
 			c.fleetObs.Instant("replace: "+fl.fn.Name, obs.CatInvoke,
@@ -294,17 +314,20 @@ func (c *ShardedCluster) replaceFlights(n *Node) {
 // to the highest ID — the newest host retires first).
 func (c *ShardedCluster) autoscaleTick() {
 	as := c.autoscale
-	if as == nil || c.Cfg.HostMemBytes <= 0 {
+	if as == nil {
 		return
 	}
 	if c.scaled && c.now.Sub(c.lastScale) < as.Cooldown {
 		return
 	}
+	capacity := c.activeCapacityPages()
+	if capacity <= 0 {
+		return // unlimited or empty fleet: pressure is undefined
+	}
 	var committed int64
 	for _, n := range c.active {
 		committed += n.Host.CommittedPages()
 	}
-	capacity := int64(len(c.active)) * units.BytesToPages(c.Cfg.HostMemBytes)
 	pressure := float64(committed) / float64(capacity)
 	if c.fleetObs != nil {
 		c.fleetObs.Gauge("autoscale/pressure", obs.CatFleet, pressure)

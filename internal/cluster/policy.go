@@ -28,9 +28,18 @@ type Policy interface {
 	Pick(nodes []*Node, fn *workload.Function) *Node
 }
 
-// PolicyNames lists the built-in policies in presentation order.
+// PolicyNames lists the built-in single-host policies in presentation
+// order. The topology-aware policies are listed separately
+// (DomainPolicyNames) so the PR 2 sweeps keep their exact row sets.
 func PolicyNames() []string {
 	return []string{"round-robin", "least-loaded", "headroom", "reclaim-aware"}
+}
+
+// DomainPolicyNames lists the blast-radius-aware policies. They score
+// candidates against fleet-wide domain state and only differentiate
+// themselves on a fleet with a topology.
+func DomainPolicyNames() []string {
+	return []string{"spread", "zone-headroom"}
 }
 
 // NewPolicy constructs a fresh instance of a built-in policy. cost is
@@ -48,8 +57,26 @@ func NewPolicy(name string, cost *costmodel.Model) Policy {
 			cost = costmodel.Default()
 		}
 		return ReclaimAware{Cost: cost}
+	case "spread":
+		return &Spread{}
+	case "zone-headroom":
+		return &ZoneHeadroom{}
 	default:
 		panic(fmt.Sprintf("cluster: unknown policy %q", name))
+	}
+}
+
+// fleetBound is implemented by policies that score candidates against
+// fleet-wide domain state. NewSharded and Reset bind such a policy to
+// its cluster; an unbound instance falls back to scoring over the
+// candidate set alone (unit tests construct policies bare).
+type fleetBound interface{ bind(c *ShardedCluster) }
+
+// bindPolicy attaches a fleet-bound policy to c (no-op for the
+// candidate-only policies).
+func bindPolicy(p Policy, c *ShardedCluster) {
+	if b, ok := p.(fleetBound); ok {
+		b.bind(c)
 	}
 }
 
@@ -166,6 +193,105 @@ func (p ReclaimAware) penalty(n *Node, instPages int64) sim.Duration {
 			UnplugEstimate(p.Cost, n.Backend, units.PagesToBytes(stranded))
 	}
 	return pen
+}
+
+// Spread minimizes the blast radius of a correlated failure: it places
+// a function's new instance in the rack currently holding the fewest
+// live instances of that function (over the whole placement-eligible
+// fleet, not just the candidate set), so losing any one rack takes out
+// the smallest possible share of the function's capacity and warm
+// pool. Ties break to the candidate with the most headroom, then to
+// the lowest host ID (scan order). On a flat fleet every host is rack
+// 0 and Spread degrades to pure headroom scoring.
+type Spread struct {
+	c        *ShardedCluster
+	rackLoad []int // scratch, reused across picks
+}
+
+func (p *Spread) bind(c *ShardedCluster) { p.c = c }
+
+// Name implements Policy.
+func (p *Spread) Name() string { return "spread" }
+
+// Pick implements Policy.
+func (p *Spread) Pick(nodes []*Node, fn *workload.Function) *Node {
+	view := nodes
+	if p.c != nil {
+		view = p.c.active
+	}
+	maxRack := 0
+	for _, n := range view {
+		maxRack = max(maxRack, n.Rack)
+	}
+	for _, n := range nodes {
+		maxRack = max(maxRack, n.Rack)
+	}
+	if cap(p.rackLoad) <= maxRack {
+		p.rackLoad = make([]int, maxRack+1)
+	}
+	load := p.rackLoad[:maxRack+1]
+	clear(load)
+	for _, n := range view {
+		if fv := n.vms[fn.Name]; fv != nil {
+			load[n.Rack] += fv.LiveInstances()
+		}
+	}
+	best := nodes[0]
+	for _, n := range nodes[1:] {
+		if load[n.Rack] < load[best.Rack] ||
+			(load[n.Rack] == load[best.Rack] && n.HeadroomPages() > best.HeadroomPages()) {
+			best = n
+		}
+	}
+	return best
+}
+
+// ZoneHeadroom balances reclaim headroom across zones: it places in
+// the zone with the most aggregate free-and-unclaimed memory (over the
+// placement-eligible fleet), then on the roomiest candidate inside it
+// — so no zone's reclaim capacity is silently exhausted while another
+// sits idle, and a zone-wide brown-out always leaves a survivor zone
+// with headroom to absorb the displaced load. On a flat fleet it
+// degrades to pure headroom scoring.
+type ZoneHeadroom struct {
+	c        *ShardedCluster
+	zoneHead []int64 // scratch, reused across picks
+}
+
+func (p *ZoneHeadroom) bind(c *ShardedCluster) { p.c = c }
+
+// Name implements Policy.
+func (p *ZoneHeadroom) Name() string { return "zone-headroom" }
+
+// Pick implements Policy.
+func (p *ZoneHeadroom) Pick(nodes []*Node, fn *workload.Function) *Node {
+	view := nodes
+	if p.c != nil {
+		view = p.c.active
+	}
+	maxZone := 0
+	for _, n := range view {
+		maxZone = max(maxZone, n.Zone)
+	}
+	for _, n := range nodes {
+		maxZone = max(maxZone, n.Zone)
+	}
+	if cap(p.zoneHead) <= maxZone {
+		p.zoneHead = make([]int64, maxZone+1)
+	}
+	head := p.zoneHead[:maxZone+1]
+	clear(head)
+	for _, n := range view {
+		head[n.Zone] += n.HeadroomPages()
+	}
+	best := nodes[0]
+	for _, n := range nodes[1:] {
+		if head[n.Zone] > head[best.Zone] ||
+			(head[n.Zone] == head[best.Zone] && n.HeadroomPages() > best.HeadroomPages()) {
+			best = n
+		}
+	}
+	return best
 }
 
 // UnplugEstimate predicts how long the backend needs to reclaim bytes

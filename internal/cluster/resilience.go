@@ -204,15 +204,7 @@ func (c *ShardedCluster) fireResilEvents(t sim.Time) {
 // the hedge timer.
 func (c *ShardedCluster) invokeResilient(fn *workload.Function, onDone func(faas.Result)) {
 	if c.shouldShed(fn) {
-		c.Metrics.Shed++
-		if c.fleetObs != nil {
-			c.fleetObs.Count("resil/shed", 1)
-			c.fleetObs.Instant("shed: "+fn.Name, obs.CatFault,
-				obs.I("priority", int64(fn.Priority)))
-		}
-		if onDone != nil {
-			onDone(faas.Result{Fn: fn, Arrival: c.now, Done: c.now, Dropped: true})
-		}
+		c.shedInvocation(fn, onDone)
 		return
 	}
 	fl := &rflight{fn: fn, arrival: c.now, onDone: onDone}
@@ -222,27 +214,55 @@ func (c *ShardedCluster) invokeResilient(fn *workload.Function, onDone func(faas
 	}
 }
 
+// shedConfigured reports whether any admission-shedding mode is on:
+// the resilience layer's (ResilienceConfig.Shed) or the
+// recovery-storm controller's domain-aware variant (RepaceConfig.Shed).
+func (c *ShardedCluster) shedConfigured() bool {
+	return (c.resil != nil && c.resil.Shed) || (c.repace != nil && c.repace.Shed)
+}
+
 // shouldShed decides admission-time shedding on demand overload: the
-// fleet's queued-but-unmet memory (broker waiters) as a fraction of
+// fleet's queued-but-unmet memory (broker waiters plus the paced
+// re-placement backlog) as a fraction of the active hosts' real
 // capacity, against the invocation's priority-dependent threshold.
 // Committed pages are the wrong signal here — an elastic fleet sits
 // full of reclaimable keep-alive pools by design, so committed stays
 // near capacity even when idle; the broker queues, by contrast, are
 // near zero on a healthy fleet and explode exactly when demand
-// outruns what reclaim can free. Low-priority work sheds first; the
-// highest class holds on until the unmet backlog itself covers the
-// whole fleet's memory.
+// outruns what reclaim can free. The capacity term shrinks the moment
+// a domain dies and the backlog term rises the same instant, so a
+// correlated failure tightens admission immediately. Low-priority work
+// sheds first; the highest class holds on until the unmet backlog
+// itself covers the whole surviving fleet's memory.
 func (c *ShardedCluster) shouldShed(fn *workload.Function) bool {
-	if !c.resil.Shed || c.Cfg.HostMemBytes <= 0 || len(c.active) == 0 {
+	if !c.shedConfigured() || len(c.active) == 0 {
 		return false
 	}
-	var queued int64
+	capacity := c.activeCapacityPages()
+	if capacity <= 0 {
+		return false
+	}
+	queued := c.repaceBacklogPages()
 	for _, n := range c.active {
 		queued += n.QueuedPages()
 	}
-	capacity := int64(len(c.active)) * units.BytesToPages(c.Cfg.HostMemBytes)
 	pressure := float64(queued) / float64(capacity)
 	return pressure > costmodel.ShedBase+float64(fn.Priority)*costmodel.ShedStep
+}
+
+// shedInvocation drops one invocation at admission, accounting it on
+// the dispatcher-side counters. Shared by the resilient and plain
+// dispatch paths.
+func (c *ShardedCluster) shedInvocation(fn *workload.Function, onDone func(faas.Result)) {
+	c.Metrics.Shed++
+	if c.fleetObs != nil {
+		c.fleetObs.Count("resil/shed", 1)
+		c.fleetObs.Instant("shed: "+fn.Name, obs.CatFault,
+			obs.I("priority", int64(fn.Priority)))
+	}
+	if onDone != nil {
+		onDone(faas.Result{Fn: fn, Arrival: c.now, Done: c.now, Dropped: true})
+	}
 }
 
 // exclOf returns the host-exclusion predicate for the flight's next
@@ -309,7 +329,7 @@ func (c *ShardedCluster) hedgeAttempt(fl *rflight) {
 	switch tier {
 	case "warm":
 	case "scale-up", "place":
-		if c.Cfg.HostMemBytes > 0 && n.HeadroomPages() < units.BytesToPages(fl.fn.MemoryLimit) {
+		if n.Host.CapacityPages() > 0 && n.HeadroomPages() < units.BytesToPages(fl.fn.MemoryLimit) {
 			return
 		}
 	default:
@@ -492,9 +512,10 @@ func (c *ShardedCluster) resolveFlight(fl *rflight, att *attempt) {
 }
 
 // replaceAttempts re-places a retired host's racing attempts, exactly
-// once each, immediately — the resilient mirror of replaceFlights.
-// Settled-but-unresolved attempts keep their results; they resolve at
-// the next boundary from the dead host's settled list.
+// once each — immediately, or through the pacing queue when
+// recovery-storm control is on (the resilient mirror of
+// replaceFlights). Settled-but-unresolved attempts keep their results;
+// they resolve at the next boundary from the dead host's settled list.
 func (c *ShardedCluster) replaceAttempts(n *Node) {
 	atts := n.attempts
 	n.attempts = nil
@@ -504,8 +525,12 @@ func (c *ShardedCluster) replaceAttempts(n *Node) {
 		if att.fl.resolved {
 			continue
 		}
-		c.Metrics.Replaced++
 		att.fl.replaced = true
+		if c.repace != nil {
+			c.queueRepace(repaceEntry{rfl: att.fl, from: n.ID})
+			continue
+		}
+		c.Metrics.Replaced++
 		if c.fleetObs != nil {
 			c.fleetObs.Count("replaced", 1)
 			c.fleetObs.Instant("replace: "+att.fl.fn.Name, obs.CatInvoke,

@@ -123,6 +123,9 @@ func (c *ShardedCluster) Play(invs []Invocation, pc PlayConfig) {
 		if rt, ok := c.nextResil(); ok && rt <= pc.DrainUntil {
 			consider(late(rt))
 		}
+		if pt, ok := c.nextRepace(); ok && pt <= pc.DrainUntil {
+			consider(late(pt))
+		}
 		if !have {
 			break
 		}
@@ -134,13 +137,14 @@ func (c *ShardedCluster) Play(invs []Invocation, pc PlayConfig) {
 		// events fire in queue order, fault windows transition (closes
 		// before opens), settled attempts resolve (so a completion
 		// beats a same-instant timeout), resilience decisions fire,
-		// invocations route in trace order, then the memory sample and
-		// the autoscaler.
+		// paced re-placements release, invocations route in trace
+		// order, then the memory sample and the autoscaler.
 		c.settleDrains()
 		c.fireFleetEvents(t)
 		c.fireFaultEvents(t)
 		c.resolveSettled()
 		c.fireResilEvents(t)
+		c.fireRepace(t)
 		for i < len(invs) && invs[i].T == t {
 			c.Invoke(invs[i].Fn, nil)
 			i++

@@ -61,6 +61,18 @@ const (
 	ShedStep = 0.25
 )
 
+// Recovery-storm pacing defaults (internal/cluster/repace.go): after a
+// correlated failure, displaced in-flight work re-dispatches at most
+// RepacePerTick invocations per pacing tick, one tick every
+// RepaceEvery. The product (16 re-dispatches/s) sits just above the
+// full-scale experiments' steady arrival rate per surviving host, so a
+// rack's worth of displaced work spreads over a few seconds of
+// boundaries instead of landing on the survivors in one instant.
+const (
+	RepacePerTick = 4
+	RepaceEvery   = 250 * sim.Millisecond
+)
+
 // Model holds every tunable cost constant. Experiments copy and tweak a
 // Model for ablations; the zero value is unusable — start from Default.
 type Model struct {

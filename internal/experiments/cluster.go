@@ -49,6 +49,28 @@ type fleetCfg struct {
 	faults    []fault.Event
 	faultSeed uint64
 	resil     *cluster.ResilienceConfig
+
+	// Failure domains (cluster-domains, or any fleet experiment under
+	// squeezyctl -topology): the rack/zone topology and the recovery
+	// pacing config. Both nil for the flat-fleet experiments, which
+	// keeps their tables byte-identical to builds without the domain
+	// machinery.
+	topo   *cluster.Topology
+	repace *cluster.RepaceConfig
+}
+
+// applyOptTopology overlays the options' rack/zone topology (squeezyctl
+// -topology) on a cell config. Call it before applyOptFaults so fuzzed
+// fault plans know whether rack-level kinds are drawable.
+func applyOptTopology(opts Options, fc *fleetCfg) {
+	if opts.TopoRacks <= 1 {
+		return
+	}
+	zones := opts.TopoZones
+	if zones <= 0 {
+		zones = 1
+	}
+	fc.topo = &cluster.Topology{Racks: opts.TopoRacks, Zones: zones}
 }
 
 // applyOptFaults overlays the options' fault scenario (squeezyctl
@@ -65,8 +87,12 @@ func applyOptFaults(opts Options, fc *fleetCfg) {
 		seed = opts.seed()
 	}
 	if name == "fuzz" {
+		racks := 0
+		if fc.topo != nil {
+			racks = fc.topo.Racks
+		}
 		fc.faults = fault.GenFaults(seed, fault.Config{
-			Duration: fc.duration, Events: 12, Hosts: fc.hosts,
+			Duration: fc.duration, Events: 12, Hosts: fc.hosts, Racks: racks,
 		})
 	} else {
 		evs, ok := fault.Scenario(name, fc.hosts, fc.duration)
@@ -114,6 +140,10 @@ type fleetStats struct {
 	Hedges    int
 	HedgeWins int
 	TimedOut  int
+
+	// Failure-domain outcomes (cluster-domains), zero on flat fleets.
+	Paced      int // re-placements routed through the pacing queue
+	RackEvents int // rack-level fault windows expanded onto hosts
 }
 
 // fleetRun replays a Zipf fleet trace against a sharded cluster and
@@ -132,6 +162,8 @@ func fleetRun(w *World, seed uint64, fc fleetCfg) fleetStats {
 		KeepAlive:    45 * sim.Second,
 		PhaseBounds:  fc.phases,
 		Resilience:   fc.resil,
+		Topology:     fc.topo,
+		Repace:       fc.repace,
 	}, cluster.NewPolicy(fc.policy, cost))
 
 	fleet := workload.Fleet(fc.funcs)
@@ -193,6 +225,8 @@ func fleetRun(w *World, seed uint64, fc fleetCfg) fleetStats {
 		Hedges:     m.Hedges,
 		HedgeWins:  m.HedgeWins,
 		TimedOut:   m.TimedOut,
+		Paced:      m.Paced,
+		RackEvents: m.RackEvents,
 	}
 	if m.ColdPhase != nil && m.ColdPhase.Phases() >= 2 {
 		pre, post := m.ColdPhase.Phase(0), m.ColdPhase.Phase(1)
@@ -288,6 +322,7 @@ func ClusterPoliciesPlan(opts Options) *Plan {
 					policy: policy, backend: backend, hosts: hosts, hostMem: hostMem,
 					funcs: funcs, duration: duration, baseRPS: baseRPS, burstRPS: burstRPS,
 				}
+				applyOptTopology(opts, &fc)
 				applyOptFaults(opts, &fc)
 				cells = append(cells, fleetCell{
 					fc:   fc,
@@ -327,6 +362,7 @@ func ClusterScalePlan(opts Options) *Plan {
 			funcs: funcs, duration: duration,
 			baseRPS: perHostBase * float64(hosts), burstRPS: perHostBurst * float64(hosts),
 		}
+		applyOptTopology(opts, &fc)
 		applyOptFaults(opts, &fc)
 		cells = append(cells, fleetCell{
 			fc:   fc,
@@ -363,6 +399,7 @@ func ClusterOvercommitPlan(opts Options) *Plan {
 				policy: "reclaim-aware", backend: backend, hosts: hosts, hostMem: gib * units.GiB,
 				funcs: funcs, duration: duration, baseRPS: baseRPS, burstRPS: burstRPS,
 			}
+			applyOptTopology(opts, &fc)
 			applyOptFaults(opts, &fc)
 			cells = append(cells, fleetCell{
 				fc:   fc,

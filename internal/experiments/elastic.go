@@ -116,6 +116,7 @@ func ClusterElasticPlan(opts Options) *Plan {
 				if churn.autoscale != nil {
 					fc.autoscale = churn.autoscale(hosts)
 				}
+				applyOptTopology(opts, &fc)
 				applyOptFaults(opts, &fc)
 				cells = append(cells, cellCfg{
 					fc:   fc,

@@ -31,6 +31,14 @@ type Options struct {
 	// decision stream; 0 uses the experiment seed (squeezyctl
 	// -faultseed).
 	FaultSeed uint64
+	// TopoRacks/TopoZones overlay a rack/zone topology on every fleet
+	// experiment cell (squeezyctl -topology RxZ). TopoRacks <= 1 leaves
+	// fleets flat — byte-identical to a build without the topology
+	// layer. With racks set, rack-level fault scenarios and the
+	// blast-radius-aware policies become meaningful, and "fuzz" plans
+	// draw rack-level kinds too.
+	TopoRacks int
+	TopoZones int
 }
 
 func (o Options) seed() uint64 {

@@ -34,10 +34,31 @@ const (
 	// the window — same protocol, uniformly slower hardware.
 	Straggler
 
+	// RackFail kills, at T, every live host of the rack named by Host
+	// (a rack index, not a host ID). With Mag < 1 each member fails
+	// independently with probability Mag, decided by a counter-mode
+	// DomainDraw. Instantaneous: Dur is ignored.
+	RackFail
+	// RackDegrade browns out the whole rack for the window: it expands
+	// to a per-host Straggler of scale Mag on every live member.
+	RackDegrade
+	// RackPartition isolates the rack from the dispatcher for the
+	// window: members keep advancing and finish in-flight work, but
+	// take no new placements until the window closes.
+	RackPartition
+
 	numKinds
 )
 
-var kindNames = [...]string{"reclaim-stall", "reclaim-partial", "cold-fail", "exec-crash", "straggler"}
+// numHostKinds marks where the single-host kinds end and the domain
+// (rack-level) kinds begin: fuzzed plans draw from [0, numHostKinds)
+// unless the plan is told the fleet has racks.
+const numHostKinds = RackFail
+
+var kindNames = [...]string{
+	"reclaim-stall", "reclaim-partial", "cold-fail", "exec-crash", "straggler",
+	"rack-fail", "rack-degrade", "rack-partition",
+}
 
 func (k Kind) String() string {
 	if k < 0 || int(k) >= len(kindNames) {
@@ -46,6 +67,10 @@ func (k Kind) String() string {
 	return kindNames[k]
 }
 
+// Domain reports whether the kind targets a failure domain (Host is a
+// rack index) rather than a single host.
+func (k Kind) Domain() bool { return k >= numHostKinds && k < numKinds }
+
 // Event opens one fault window [T, T+Dur) of one Kind.
 type Event struct {
 	T    sim.Time
@@ -53,11 +78,14 @@ type Event struct {
 	Kind Kind
 	// Host targets a specific host ID; -1 targets every host live at
 	// window open. IDs that don't exist at open time are no-ops, and a
-	// host that joins mid-window is unaffected by it.
+	// host that joins mid-window is unaffected by it. For domain kinds
+	// (Kind.Domain) Host is a rack index instead; dangling racks — and
+	// any rack on a fleet with no topology — are no-ops too.
 	Host int
 	// Mag is the kind-specific magnitude: stall seconds (ReclaimStall),
 	// completed fraction in (0,1) (ReclaimPartial), failure probability
-	// (ColdFail, ExecCrash), or cost scale >= 1 (Straggler).
+	// (ColdFail, ExecCrash, RackFail — per member), or cost scale >= 1
+	// (Straggler, RackDegrade).
 	Mag float64
 }
 
@@ -72,6 +100,12 @@ type Config struct {
 	// in [0, 2*Hosts) so some deliberately name hosts that are already
 	// gone or never existed (the fleet must treat those as no-ops).
 	Hosts int
+	// Racks, when > 0, widens the kind space to the domain kinds
+	// (RackFail/RackDegrade/RackPartition) with rack targets drawn in
+	// [0, 2*Racks) — half deliberately dangling, which the fleet must
+	// treat as no-ops. Zero keeps plans byte-identical to the flat
+	// generator.
+	Racks int
 }
 
 // GenFaults synthesizes a random fault plan — overlapping windows of
@@ -82,15 +116,21 @@ type Config struct {
 // seeds (the mirror of trace.GenChurn).
 func GenFaults(seed uint64, cfg Config) []Event {
 	rng := rand.New(rand.NewPCG(seed, 0xfa017))
+	kinds := int(numHostKinds)
+	if cfg.Racks > 0 {
+		kinds = int(numKinds)
+	}
 	events := make([]Event, 0, cfg.Events)
 	for i := 0; i < cfg.Events; i++ {
 		ev := Event{
 			T:    sim.Time(1 + rng.Int64N(int64(cfg.Duration)-1)),
 			Dur:  sim.Duration(1 + rng.Int64N(int64(cfg.Duration)/4)),
-			Kind: Kind(rng.IntN(int(numKinds))),
+			Kind: Kind(rng.IntN(kinds)),
 			Host: -1,
 		}
-		if rng.IntN(2) == 0 && cfg.Hosts > 0 {
+		if ev.Kind.Domain() {
+			ev.Host = rng.IntN(2 * cfg.Racks)
+		} else if rng.IntN(2) == 0 && cfg.Hosts > 0 {
 			ev.Host = rng.IntN(2 * cfg.Hosts)
 		}
 		switch ev.Kind {
@@ -102,8 +142,10 @@ func GenFaults(seed uint64, cfg Config) []Event {
 			ev.Mag = 0.1 + 0.5*rng.Float64()
 		case ExecCrash:
 			ev.Mag = 0.05 + 0.35*rng.Float64()
-		case Straggler:
+		case Straggler, RackDegrade:
 			ev.Mag = 2 + 6*rng.Float64()
+		case RackFail:
+			ev.Mag = 0.5 + 0.5*rng.Float64()
 		}
 		events = append(events, ev)
 	}
@@ -111,10 +153,19 @@ func GenFaults(seed uint64, cfg Config) []Event {
 	return events
 }
 
-// ScenarioNames lists the named fault scenarios, in presentation order.
-// "none" is the empty plan.
+// ScenarioNames lists the named single-host fault scenarios, in
+// presentation order. "none" is the empty plan. The domain scenarios
+// are listed separately (DomainScenarioNames) so the PR 8 sweeps keep
+// their exact row sets.
 func ScenarioNames() []string {
 	return []string{"none", "reclaim-degrade", "cold-crash", "straggler"}
+}
+
+// DomainScenarioNames lists the rack/zone-correlated scenarios. They
+// only bite on a fleet with a topology (squeezyctl -topology); on a
+// flat fleet their events are deterministic no-ops.
+func DomainScenarioNames() []string {
+	return []string{"rack-fail", "zone-degrade", "rack-partition"}
 }
 
 // Scenario builds a named fault profile sized to a run: one window
@@ -127,6 +178,11 @@ func ScenarioNames() []string {
 //	                 25% of executions
 //	straggler        host 0 browns out to 30x slower — far enough
 //	                 past HedgeDelay that its victims are hedgeable
+//	rack-fail        rack 1 dies outright at duration/2
+//	zone-degrade     racks 0 and 1 (zone 0 of the reference 4x2
+//	                 topology) brown out to 6x slower
+//	rack-partition   rack 1 is isolated from the dispatcher for the
+//	                 window
 //
 // The second return is false for an unknown name; "none" is known and
 // returns an empty plan.
@@ -150,6 +206,19 @@ func Scenario(name string, hosts int, duration sim.Duration) ([]Event, bool) {
 		return []Event{
 			{T: at, Dur: dur, Kind: Straggler, Host: 0, Mag: 30},
 		}, true
+	case "rack-fail":
+		return []Event{
+			{T: at, Kind: RackFail, Host: 1, Mag: 1},
+		}, true
+	case "zone-degrade":
+		return []Event{
+			{T: at, Dur: dur, Kind: RackDegrade, Host: 0, Mag: 6},
+			{T: at, Dur: dur, Kind: RackDegrade, Host: 1, Mag: 6},
+		}, true
+	case "rack-partition":
+		return []Event{
+			{T: at, Dur: dur, Kind: RackPartition, Host: 1},
+		}, true
 	}
 	return nil, false
 }
@@ -166,6 +235,18 @@ func SubSeed(seed uint64, i int) uint64 {
 	x *= 0x94D049BB133111EB
 	x ^= x >> 31
 	return x
+}
+
+// DomainDraw returns the uniform [0,1) variate deciding whether host
+// participates in domain event ev (e.g. a partial RackFail). It is a
+// pure function of (plan seed, event time, kind, host ID) — the same
+// counter-mode construction as the per-host injector streams, but on a
+// separate channel, so expanding a domain event never advances any
+// host's own decision counter. That makes the expansion shard- and
+// worker-invariant by construction.
+func DomainDraw(seed uint64, ev Event, host int) float64 {
+	x := SubSeed(seed^(uint64(ev.T)*0x9E3779B97F4A7C15+uint64(ev.Kind)), host)
+	return float64(x>>11) / (1 << 53)
 }
 
 // Injector is one host's view of the active fault windows plus its

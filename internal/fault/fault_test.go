@@ -191,3 +191,112 @@ func TestInjectorDecisionStreamDeterministic(t *testing.T) {
 		t.Fatalf("degenerate decision stream: %d/200 failures at p=0.5", fails)
 	}
 }
+
+// TestDomainKinds: the Domain predicate separates rack-level kinds
+// from host-level ones exactly.
+func TestDomainKinds(t *testing.T) {
+	host := []Kind{ReclaimStall, ReclaimPartial, ColdFail, ExecCrash, Straggler}
+	domain := []Kind{RackFail, RackDegrade, RackPartition}
+	for _, k := range host {
+		if k.Domain() {
+			t.Fatalf("%v classified as a domain kind", k)
+		}
+	}
+	for _, k := range domain {
+		if !k.Domain() {
+			t.Fatalf("%v not classified as a domain kind", k)
+		}
+	}
+}
+
+// TestGenFaultsRackGating: plans stay host-only with Racks unset —
+// byte-identical draws to a build without the domain kinds — and mix
+// in rack-level events, with rack-index targets (possibly dangling),
+// once a topology is declared.
+func TestGenFaultsRackGating(t *testing.T) {
+	flat := GenFaults(3, Config{Duration: 120 * sim.Second, Events: 64, Hosts: 4})
+	for _, ev := range flat {
+		if ev.Kind.Domain() {
+			t.Fatalf("flat plan drew domain kind %v", ev.Kind)
+		}
+	}
+	racked := GenFaults(3, Config{Duration: 120 * sim.Second, Events: 64, Hosts: 4, Racks: 2})
+	sawDomain := false
+	for _, ev := range racked {
+		if !ev.Kind.Domain() {
+			continue
+		}
+		sawDomain = true
+		if ev.Host < 0 || ev.Host >= 4 {
+			t.Fatalf("%v targets rack %d outside [0, %d)", ev.Kind, ev.Host, 4)
+		}
+		switch ev.Kind {
+		case RackFail:
+			if ev.Mag < 0.5 || ev.Mag > 1 {
+				t.Fatalf("rack-fail magnitude %v outside [0.5, 1]", ev.Mag)
+			}
+		case RackDegrade:
+			if ev.Mag < 2 {
+				t.Fatalf("rack-degrade scale %v below 2", ev.Mag)
+			}
+		}
+	}
+	if !sawDomain {
+		t.Fatal("racked plan drew no domain kinds in 64 events")
+	}
+}
+
+// TestDomainScenarios: every advertised rack-level scenario resolves
+// to domain-kind events, disjoint from the host-level names.
+func TestDomainScenarios(t *testing.T) {
+	for _, name := range DomainScenarioNames() {
+		evs, ok := Scenario(name, 8, 180*sim.Second)
+		if !ok {
+			t.Fatalf("advertised domain scenario %q did not resolve", name)
+		}
+		if len(evs) == 0 {
+			t.Fatalf("domain scenario %q is empty", name)
+		}
+		for _, ev := range evs {
+			if !ev.Kind.Domain() {
+				t.Fatalf("scenario %q contains host-level kind %v", name, ev.Kind)
+			}
+		}
+		for _, host := range ScenarioNames() {
+			if name == host {
+				t.Fatalf("domain scenario %q shadows a host-level name", name)
+			}
+		}
+	}
+}
+
+// TestDomainDraw: the rack-expansion stream is deterministic, in
+// [0, 1), and independent across hosts and events — and entirely
+// separate from the injector decision streams, so expanding a rack
+// never perturbs a host's own draws.
+func TestDomainDraw(t *testing.T) {
+	ev := Event{T: sim.Time(7 * sim.Second), Kind: RackFail, Host: 1, Mag: 0.7}
+	seen := map[float64]bool{}
+	for host := 0; host < 16; host++ {
+		a := DomainDraw(5, ev, host)
+		b := DomainDraw(5, ev, host)
+		if a != b {
+			t.Fatalf("host %d draw not deterministic: %v vs %v", host, a, b)
+		}
+		if a < 0 || a >= 1 {
+			t.Fatalf("host %d draw %v outside [0, 1)", host, a)
+		}
+		seen[a] = true
+	}
+	if len(seen) < 12 {
+		t.Fatalf("only %d distinct draws over 16 hosts", len(seen))
+	}
+	other := ev
+	other.T = sim.Time(8 * sim.Second)
+	if DomainDraw(5, ev, 3) == DomainDraw(5, other, 3) {
+		t.Fatal("different events produced identical draws")
+	}
+	if DomainDraw(5, ev, 3) == DomainDraw(6, ev, 3) {
+		t.Fatal("different seeds produced identical draws")
+	}
+}

@@ -30,6 +30,10 @@ func testTrace() *Trace {
 	fl.Instant("fault-open: cold-fail", CatFault, I("host", -1), F("mag", 0.5))
 	fl.Instant("retry: f1", CatFault, I("retry", 1), I("backoff_ms", 250))
 	fl.Count("resil/retries", 1)
+	fl.Instant("fault-open: rack-fail", CatFault,
+		I("rack", 1), I("zone", 0), F("mag", 1), I("targets", 2))
+	fl.Gauge("mem/rack1/committed_gib", CatFleet, 3.5)
+	fl.Count("faults/rack_events", 1)
 
 	h := tr.HostTrack(0, clk)
 	// Two overlapping spans -> two lanes; a third after both -> lane 0.

@@ -205,6 +205,11 @@ const (
 	// ChurnDrain removes a host gracefully: no new placements, running
 	// work finishes (or is re-placed at the drain deadline).
 	ChurnDrain
+	// ChurnRackFail kills every host of a rack at once (Host is the
+	// rack index; dangling racks are no-ops). Generated only when
+	// ChurnConfig.Racks > 0; the cluster layer plays it as a rack-fail
+	// fault event.
+	ChurnRackFail
 )
 
 // ChurnEvent is one scheduled fleet-shape change.
@@ -212,7 +217,8 @@ type ChurnEvent struct {
 	T    sim.Time
 	Kind ChurnKind
 	// Host targets a specific host ID; -1 lets the fleet pick the
-	// busiest live host at event time (the worst-case victim).
+	// busiest live host at event time (the worst-case victim). For
+	// ChurnRackFail it is a rack index instead.
 	Host int
 }
 
@@ -226,23 +232,35 @@ type ChurnConfig struct {
 	// in [0, 2*Hosts) so some deliberately name hosts that are already
 	// gone or never existed (the fleet must treat those as no-ops).
 	Hosts int
+	// Racks, when > 0, adds rack-level targets to the mix: some events
+	// become ChurnRackFail with rack indices in [0, 2*Racks), half
+	// deliberately dangling. Zero keeps schedules byte-identical to
+	// the flat generator.
+	Racks int
 }
 
 // GenChurn synthesizes a random churn schedule — join, fail, and drain
-// events at uniform times, half targeting the busiest host (-1) and
-// half targeting explicit (possibly dangling) IDs. The same seed always
-// yields the same schedule; the determinism property tests fuzz fleet
-// runs with these schedules across seeds.
+// events (plus rack failures when the config has racks) at uniform
+// times, half targeting the busiest host (-1) and half targeting
+// explicit (possibly dangling) IDs. The same seed always yields the
+// same schedule; the determinism property tests fuzz fleet runs with
+// these schedules across seeds.
 func GenChurn(seed uint64, cfg ChurnConfig) []ChurnEvent {
 	rng := rand.New(rand.NewPCG(seed, 0xc4123))
+	kinds := 3
+	if cfg.Racks > 0 {
+		kinds = 4
+	}
 	events := make([]ChurnEvent, 0, cfg.Events)
 	for i := 0; i < cfg.Events; i++ {
 		ev := ChurnEvent{
 			T:    sim.Time(1 + rng.Int64N(int64(cfg.Duration)-1)),
-			Kind: ChurnKind(rng.IntN(3)),
+			Kind: ChurnKind(rng.IntN(kinds)),
 			Host: -1,
 		}
-		if rng.IntN(2) == 0 && cfg.Hosts > 0 {
+		if ev.Kind == ChurnRackFail {
+			ev.Host = rng.IntN(2 * cfg.Racks)
+		} else if rng.IntN(2) == 0 && cfg.Hosts > 0 {
 			ev.Host = rng.IntN(2 * cfg.Hosts)
 		}
 		events = append(events, ev)

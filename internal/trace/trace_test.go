@@ -288,3 +288,30 @@ func TestGenChurn(t *testing.T) {
 		}
 	}
 }
+
+// TestGenChurnRacks: with Racks unset the schedule is byte-identical
+// to a build without the rack kind (host kinds only, same draws); with
+// racks declared, rack failures appear with rack-index targets
+// (possibly dangling, for no-op coverage).
+func TestGenChurnRacks(t *testing.T) {
+	cfg := ChurnConfig{Duration: 30 * sim.Second, Events: 40, Hosts: 4}
+	for _, ev := range GenChurn(7, cfg) {
+		if ev.Kind == ChurnRackFail {
+			t.Fatal("flat schedule drew a rack failure")
+		}
+	}
+	cfg.Racks = 2
+	rackFails := 0
+	for _, ev := range GenChurn(7, cfg) {
+		if ev.Kind != ChurnRackFail {
+			continue
+		}
+		rackFails++
+		if ev.Host < 0 || ev.Host >= 2*cfg.Racks {
+			t.Fatalf("rack failure targets %d outside [0, %d)", ev.Host, 2*cfg.Racks)
+		}
+	}
+	if rackFails == 0 {
+		t.Fatal("racked schedule drew no rack failures in 40 events")
+	}
+}
