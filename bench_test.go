@@ -1,6 +1,7 @@
 package squeezy_test
 
 import (
+	"runtime"
 	"testing"
 
 	"squeezy/internal/experiments"
@@ -43,6 +44,31 @@ func BenchmarkRunnerParallel(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(len(reports)), "experiments")
+	}
+}
+
+// BenchmarkStreamBytesPerInvocation tracks the streaming replay's
+// memory economy on the cluster-diurnal cell shape: cumulative
+// allocation per invocation (churn the collector absorbs) and peak
+// live heap per invocation (what actually stays resident — the figure
+// that must not scale with trace length). Regressions here are caught
+// hard by TestStreamingMemoryBounded; the metrics make drift visible
+// before it trips that gate.
+func BenchmarkStreamBytesPerInvocation(b *testing.B) {
+	days := 0.25
+	if testing.Short() {
+		days = 0.02
+	}
+	for i := 0; i < b.N; i++ {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		n, peak := experiments.StreamMemProbe(days, 1)
+		runtime.ReadMemStats(&after)
+		if n == 0 {
+			b.Fatal("degenerate streaming cell: no invocations")
+		}
+		b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/float64(n), "alloc-B/inv")
+		b.ReportMetric(float64(peak)/float64(n), "live-B/inv")
 	}
 }
 

@@ -56,6 +56,14 @@
 //	             the rack-level fault scenarios and makes the
 //	             blast-radius-aware policies (spread, zone-headroom)
 //	             meaningful; a bare R means Z=1
+//	-sketch      collect every fleet experiment's latency samples in
+//	             bounded-memory reservoir sketches instead of exact
+//	             retained-value samples. Order statistics are then
+//	             accurate to a documented rank-error bound rather than
+//	             byte-exact; off (the default) keeps every recorded
+//	             table byte-identical
+//	-days N      simulated days for the multi-day experiments
+//	             (cluster-diurnal); 0 keeps the experiment's default
 //	-cpuprofile FILE  write a pprof CPU profile of the run to FILE
 //	-memprofile FILE  write a pprof heap profile at exit to FILE
 package main
@@ -160,6 +168,8 @@ func main() {
 	faults := flag.String("faults", "", `fault scenario for fleet experiments (a fault.ScenarioNames() name or "fuzz")`)
 	faultSeed := flag.Uint64("faultseed", 0, "seed for fuzzed fault plans and fault decision streams (0 = -seed)")
 	topology := flag.String("topology", "", "rack/zone topology for fleet experiments, RxZ (e.g. 4x2; empty = flat fleet)")
+	sketch := flag.Bool("sketch", false, "bounded-memory reservoir sketches for every fleet experiment's latency samples (tables then rank-error-accurate, not byte-exact)")
+	days := flag.Float64("days", 0, "simulated days for the multi-day experiments (cluster-diurnal; 0 = experiment default)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -283,10 +293,15 @@ func main() {
 	if *simTrace != "" || *metricsPath != "" {
 		sink = &obs.Sink{}
 	}
+	if *days < 0 {
+		fmt.Fprintf(os.Stderr, "squeezyctl: bad -days %v (want >= 0)\n", *days)
+		os.Exit(2)
+	}
 	opts := experiments.Options{
 		Seed: *seed, Quick: *quick, Obs: sink,
 		FaultScenario: *faults, FaultSeed: *faultSeed,
 		TopoRacks: topoRacks, TopoZones: topoZones,
+		Sketch: *sketch, Days: *days,
 	}
 	reports, stats, err := experiments.RunWithCellStats(names, opts, *trials, workers)
 	if err == nil {

@@ -5,12 +5,15 @@
 // Usage:
 //
 //	tracegen [-seed N] [-minutes M] [-base RPS] [-burst RPS]
-//	         [-burstlen SEC] [-burstgap SEC] [-churn] [-csv]
+//	         [-burstlen SEC] [-burstgap SEC] [-churn] [-csv] [-events]
 //	tracegen -funcs N [-zipf S] ...   # fleet mode (trace.GenFleet)
 //
 // In fleet mode -base and -burst are fleet-aggregate rates split across
 // functions by Zipf popularity. -csv emits machine-readable per-minute
 // counts (minute,invocations or func,minute,invocations) for plotting.
+// -events instead streams the exact-replay CSV ("func,t_ns", one row
+// per invocation) straight from the generator cursors in O(1) memory;
+// trace.OpenCSV replays either layout bit for bit.
 package main
 
 import (
@@ -35,7 +38,13 @@ func main() {
 	zipf := flag.Float64("zipf", 1.1, "fleet popularity exponent (with -funcs)")
 	churn := flag.Bool("churn", false, "print instance churn (Figure 2 analysis) instead of rates")
 	csvOut := flag.Bool("csv", false, "emit per-minute counts as CSV for plotting")
+	events := flag.Bool("events", false, "emit the exact-replay events CSV (func,t_ns), streamed in O(1) memory")
 	flag.Parse()
+
+	if *events && *churn {
+		fmt.Fprintln(os.Stderr, "tracegen: -events emits raw invocations; it cannot be combined with -churn")
+		os.Exit(2)
+	}
 
 	if *burstLen <= 0 || *burstGap <= 0 {
 		fmt.Fprintln(os.Stderr, "tracegen: -burstlen and -burstgap must be positive")
@@ -50,7 +59,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tracegen: -churn is a single-trace analysis; it cannot be combined with -funcs")
 			os.Exit(2)
 		}
-		traces := trace.GenFleet(*seed, trace.FleetConfig{
+		fcfg := trace.FleetConfig{
 			Funcs:         *funcs,
 			Duration:      dur,
 			ZipfS:         *zipf,
@@ -58,7 +67,12 @@ func main() {
 			TotalBurstRPS: *burst,
 			BurstLen:      bl,
 			BurstGap:      bg,
-		})
+		}
+		if *events {
+			writeEvents(trace.NewFleetStream(*seed, fcfg))
+			return
+		}
+		traces := trace.GenFleet(*seed, fcfg)
 		if *csvOut {
 			rows := [][]string{}
 			for fi, tr := range traces {
@@ -81,13 +95,18 @@ func main() {
 		return
 	}
 
-	tr := trace.GenBursty(*seed, trace.BurstyConfig{
+	bcfg := trace.BurstyConfig{
 		Duration: dur,
 		BaseRPS:  *base,
 		BurstRPS: *burst,
 		BurstLen: bl,
 		BurstGap: bg,
-	})
+	}
+	if *events {
+		writeEvents(trace.NewBursty(*seed, bcfg))
+		return
+	}
+	tr := trace.GenBursty(*seed, bcfg)
 	if *churn {
 		points := trace.InstanceChurn(tr, sim.Second, 5*sim.Minute, dur)
 		if *csvOut {
@@ -130,6 +149,13 @@ func perMinute(tr *trace.Trace, minutes int) []int {
 		}
 	}
 	return counts
+}
+
+func writeEvents(s trace.Stream) {
+	if _, err := trace.WriteCSV(os.Stdout, s); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
 }
 
 func writeCSV(header []string, rows [][]string) {

@@ -56,6 +56,15 @@ type Config struct {
 	// paced, priority-ordered queue instead of slamming the survivors
 	// in one boundary. nil preserves immediate re-placement bit-for-bit.
 	Repace *RepaceConfig
+	// Sketch, when non-nil, switches every latency sample — per host
+	// and fleet-merged, phased and unphased — to bounded-memory
+	// reservoir mode (stats.SketchConfig): O(K) memory per sample at
+	// any invocation count, percentiles within stats.RankErrorBound(K)
+	// of exact. Each sample's priority stream is derived from the host
+	// ID and metric index, so sketched runs stay shard-, worker-, and
+	// merge-order invariant. nil (the default) retains every
+	// observation exactly, preserving the recorded tables bit-for-bit.
+	Sketch *stats.SketchConfig
 }
 
 // Node is one simulated host: a private scheduler, memory pool, and
@@ -185,6 +194,42 @@ func (m *NodeMetrics) reset() {
 	m.ColdLatMs.Reset()
 	m.WarmLatMs.Reset()
 	m.MemWaitMs.Reset()
+}
+
+// fleetSketchHost is the pseudo host ID behind the fleet-merged
+// samples' sketch streams, far above any real host the autoscaler
+// could ever join.
+const fleetSketchHost = 1 << 20
+
+// applySketch moves the metrics' samples into (or out of) reservoir
+// mode for a new run. Each sample gets a distinct priority stream
+// derived from (host ID, metric index) — a pure function of the
+// host's identity, so sketched runs are as shard- and worker-count
+// invariant as exact ones. Call with every sample empty: after
+// newNodeMetrics/reset, and after initPhases (which rebuilds the
+// phased samples in exact mode).
+func (m *NodeMetrics) applySketch(cfg *stats.SketchConfig, host int) {
+	apply := func(s *stats.Sample, idx uint64) {
+		if cfg == nil {
+			if s.Sketched() {
+				s.DisableSketch()
+			}
+			return
+		}
+		c := *cfg
+		c.Stream += uint64(host+1)*16 + idx
+		s.EnableSketch(c)
+	}
+	apply(m.ColdLatMs, 0)
+	apply(m.WarmLatMs, 1)
+	apply(m.MemWaitMs, 2)
+	if cfg != nil && m.ColdPhase != nil {
+		c := *cfg
+		c.Stream += uint64(host+1)*16 + 3
+		m.ColdPhase.EnableSketch(c)
+		c.Stream++
+		m.LatPhase.EnableSketch(c)
+	}
 }
 
 // initPhases (re)builds the phase-split samples for the given bounds,
@@ -401,6 +446,7 @@ func NewSharded(cost *costmodel.Model, cfg Config, policy Policy) *ShardedCluste
 		c.Nodes = append(c.Nodes, c.newNode(i))
 	}
 	c.Metrics.ColdPhase, c.Metrics.LatPhase = fleetPhases(c.Cfg.PhaseBounds)
+	c.Metrics.applySketch(c.Cfg.Sketch)
 	c.active = append(c.active, c.Nodes...)
 	c.live = append(c.live, c.Nodes...)
 	c.resil = c.Cfg.Resilience
@@ -415,6 +461,17 @@ func fleetPhases(bounds []sim.Time) (cold, all *stats.PhasedSample) {
 	var m NodeMetrics
 	m.initPhases(bounds)
 	return m.ColdPhase, m.LatPhase
+}
+
+// applySketch mirrors NodeMetrics.applySketch for the fleet-merged
+// samples, under the reserved fleetSketchHost stream so the merge
+// destination never collides with a real host's priorities.
+func (m *Metrics) applySketch(cfg *stats.SketchConfig) {
+	v := NodeMetrics{
+		ColdLatMs: m.ColdLatMs, WarmLatMs: m.WarmLatMs, MemWaitMs: m.MemWaitMs,
+		ColdPhase: m.ColdPhase, LatPhase: m.LatPhase,
+	}
+	v.applySketch(cfg, fleetSketchHost)
 }
 
 // newNode builds one host under the cluster's current config.
@@ -434,6 +491,7 @@ func (c *ShardedCluster) newNode(id int) *Node {
 		vms: make(map[string]*faas.FuncVM),
 	}
 	n.M.initPhases(c.Cfg.PhaseBounds)
+	n.M.applySketch(c.Cfg.Sketch, id)
 	return n
 }
 
@@ -467,6 +525,7 @@ func (c *ShardedCluster) Reset(cost *costmodel.Model, cfg Config, policy Policy)
 		n.RT = rt
 		n.M.reset()
 		n.M.initPhases(c.Cfg.PhaseBounds)
+		n.M.applySketch(c.Cfg.Sketch, i)
 		n.state = nodeActive
 		n.partitioned = 0
 		n.Obs = nil
@@ -514,6 +573,7 @@ func (c *ShardedCluster) Reset(cost *costmodel.Model, cfg Config, policy Policy)
 	m.WarmLatMs.Reset()
 	m.MemWaitMs.Reset()
 	m.ColdPhase, m.LatPhase = fleetPhases(c.Cfg.PhaseBounds)
+	m.applySketch(c.Cfg.Sketch)
 	m.Committed.Reset()
 	m.Populated.Reset()
 }
@@ -714,6 +774,10 @@ func (c *ShardedCluster) vmOn(n *Node, fn *workload.Function) *faas.FuncVM {
 		Fn:        fn,
 		N:         c.Cfg.N,
 		KeepAlive: c.Cfg.KeepAlive,
+		// Sketch mode is the bounded-memory contract: nothing per-VM
+		// may grow with invocation count either, so the per-request
+		// completion log and per-function exact samples are skipped.
+		LeanMetrics: c.Cfg.Sketch != nil,
 	}
 	if c.Cfg.Backend == faas.Harvest {
 		cfg.HarvestBufferBytes = int64(c.Cfg.HarvestBufferInstances) *

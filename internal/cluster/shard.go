@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"fmt"
 	"time"
 
 	"squeezy/internal/fault"
@@ -81,82 +80,13 @@ type PlayConfig struct {
 	FaultSeed uint64
 }
 
-// Play replays a time-sorted invocation stream through the dispatcher
+// Play replays a time-sorted invocation slice through the dispatcher
 // under the epoch protocol described above. It leaves every host at
-// DrainUntil and the merged fleet metrics ready in Stats().
+// DrainUntil and the merged fleet metrics ready in Stats(). Play is a
+// thin wrapper over PlayStream (stream.go), which accepts a streaming
+// source and bounds memory independently of invocation count.
 func (c *ShardedCluster) Play(invs []Invocation, pc PlayConfig) {
-	c.prepareShards(pc.Shards)
-	c.autoscale = pc.Autoscale
-	c.ScheduleFleetEvents(pc.Events)
-	c.ScheduleFaults(pc.Faults, pc.FaultSeed)
-	ticks := pc.TickEvery > 0
-	var nextTick sim.Time
-	i := 0
-	for {
-		// Next boundary: the earliest of the next invocation, the next
-		// tick, the next due fleet event, the next fault-window
-		// transition, and the next live resilience decision.
-		t, have := sim.Time(0), false
-		consider := func(x sim.Time) {
-			if !have || x < t {
-				t, have = x, true
-			}
-		}
-		late := func(x sim.Time) sim.Time {
-			if x < c.now {
-				return c.now // late-queued event fires at the next boundary
-			}
-			return x
-		}
-		if i < len(invs) {
-			consider(invs[i].T)
-		}
-		if ticks && nextTick <= pc.TickUntil {
-			consider(nextTick)
-		}
-		if len(c.fleetQ) > 0 && c.fleetQ[0].T <= pc.DrainUntil {
-			consider(late(c.fleetQ[0].T))
-		}
-		if ft, ok := c.nextFault(pc.DrainUntil); ok {
-			consider(late(ft))
-		}
-		if rt, ok := c.nextResil(); ok && rt <= pc.DrainUntil {
-			consider(late(rt))
-		}
-		if pt, ok := c.nextRepace(); ok && pt <= pc.DrainUntil {
-			consider(late(pt))
-		}
-		if !have {
-			break
-		}
-		if t < c.now {
-			panic(fmt.Sprintf("cluster: invocation stream not sorted: %d after %d", t, c.now))
-		}
-		c.AdvanceTo(t)
-		// Canonical boundary order: finished drains retire, fleet
-		// events fire in queue order, fault windows transition (closes
-		// before opens), settled attempts resolve (so a completion
-		// beats a same-instant timeout), resilience decisions fire,
-		// paced re-placements release, invocations route in trace
-		// order, then the memory sample and the autoscaler.
-		c.settleDrains()
-		c.fireFleetEvents(t)
-		c.fireFaultEvents(t)
-		c.resolveSettled()
-		c.fireResilEvents(t)
-		c.fireRepace(t)
-		for i < len(invs) && invs[i].T == t {
-			c.Invoke(invs[i].Fn, nil)
-			i++
-		}
-		if ticks && nextTick == t && t <= pc.TickUntil {
-			c.SampleMemory()
-			nextTick += sim.Time(pc.TickEvery)
-			c.autoscaleTick()
-		}
-	}
-	c.Drain(pc.DrainUntil)
-	c.finishResil()
+	c.PlayStream(SliceStream(invs), pc)
 }
 
 // prepareShards records the requested shard count, partitions the live

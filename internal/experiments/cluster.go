@@ -9,6 +9,7 @@ import (
 	"squeezy/internal/faas"
 	"squeezy/internal/fault"
 	"squeezy/internal/sim"
+	"squeezy/internal/stats"
 	"squeezy/internal/trace"
 	"squeezy/internal/units"
 	"squeezy/internal/workload"
@@ -57,6 +58,20 @@ type fleetCfg struct {
 	// machinery.
 	topo   *cluster.Topology
 	repace *cluster.RepaceConfig
+
+	// Diurnal/weekly rate modulation on the fleet trace
+	// (cluster-diurnal). Empty for the flat-rate experiments, which
+	// keeps their traces byte-identical to the unmodulated generators.
+	mods []trace.DiurnalConfig
+	// tick overrides the fleet memory-sampling cadence; 0 keeps the
+	// default 1 s. Multi-day runs coarsen it so the memory series stays
+	// proportional to simulated days, not invocations.
+	tick sim.Duration
+	// sketch, when non-nil, moves the fleet's latency samples into
+	// bounded-memory reservoir mode (stats.SketchConfig). Nil — the
+	// default everywhere but cluster-diurnal and squeezyctl -sketch —
+	// keeps exact percentiles and byte-identical recorded tables.
+	sketch *stats.SketchConfig
 }
 
 // applyOptTopology overlays the options' rack/zone topology (squeezyctl
@@ -71,6 +86,18 @@ func applyOptTopology(opts Options, fc *fleetCfg) {
 		zones = 1
 	}
 	fc.topo = &cluster.Topology{Racks: opts.TopoRacks, Zones: zones}
+}
+
+// applyOptSketch overlays bounded-memory reservoir sketches
+// (squeezyctl -sketch) on a cell config, unless the cell already
+// configured its own. Order statistics then come from the sketch, so
+// recorded tables may differ within the documented rank-error bound;
+// the byte-identity contract holds only with sketches off.
+func applyOptSketch(opts Options, fc *fleetCfg) {
+	if !opts.Sketch || fc.sketch != nil {
+		return
+	}
+	fc.sketch = &stats.SketchConfig{K: stats.DefaultSketchK, Seed: opts.seed()}
 }
 
 // applyOptFaults overlays the options' fault scenario (squeezyctl
@@ -115,6 +142,8 @@ type fleetStats struct {
 	Warm       int
 	ColdP50Ms  float64
 	ColdP99Ms  float64
+	ColdP999Ms float64
+	WarmP99Ms  float64
 	MemWaitP99 float64
 	Evictions  int
 	Dropped    int // execution drops + admission drops
@@ -146,12 +175,51 @@ type fleetStats struct {
 	RackEvents int // rack-level fault windows expanded onto hosts
 }
 
+// traceStream adapts a merged trace cursor to the dispatcher's
+// invocation stream, resolving function ranks through a lazy fleet
+// pool. Nothing is materialized: the adapter buffers exactly one
+// invocation (for Peek), so a multi-day million-invocation replay
+// holds O(funcs) state however many invocations flow through.
+type traceStream struct {
+	src  trace.Stream
+	pool workload.FleetPool
+	next cluster.Invocation
+	have bool
+}
+
+func (s *traceStream) fill() {
+	if s.have {
+		return
+	}
+	if it, ok := s.src.Next(); ok {
+		s.next = cluster.Invocation{T: it.T, Fn: s.pool.Get(it.Func)}
+		s.have = true
+	}
+}
+
+func (s *traceStream) Peek() (sim.Time, bool) {
+	s.fill()
+	return s.next.T, s.have
+}
+
+func (s *traceStream) Next() (cluster.Invocation, bool) {
+	s.fill()
+	if !s.have {
+		return cluster.Invocation{}, false
+	}
+	s.have = false
+	return s.next, true
+}
+
 // fleetRun replays a Zipf fleet trace against a sharded cluster and
 // collects fleet-wide latency, churn, and memory-efficiency metrics.
-// The run is a pure function of (seed, fc) — the pooled world only
-// contributes recycled storage, and the epoch engine's shard count and
-// worker placement never reach the results (the cluster package's
-// determinism contract).
+// The trace streams straight from the generator cursors into the epoch
+// loop (never materialized — the same sequence the pre-streaming
+// GenFleet+Merge produced, byte-identical by the trace package's
+// golden-fingerprint contract). The run is a pure function of
+// (seed, fc) — the pooled world only contributes recycled storage, and
+// the epoch engine's shard count and worker placement never reach the
+// results (the cluster package's determinism contract).
 func fleetRun(w *World, seed uint64, fc fleetCfg) fleetStats {
 	cost := costmodel.Default()
 	c := w.Fleet(cost, cluster.Config{
@@ -164,19 +232,19 @@ func fleetRun(w *World, seed uint64, fc fleetCfg) fleetStats {
 		Resilience:   fc.resil,
 		Topology:     fc.topo,
 		Repace:       fc.repace,
+		Sketch:       fc.sketch,
 	}, cluster.NewPolicy(fc.policy, cost))
 
-	fleet := workload.Fleet(fc.funcs)
-	traces := trace.GenFleet(seed, trace.FleetConfig{
+	src := &traceStream{src: trace.NewFleetStream(seed, trace.FleetConfig{
 		Funcs:         fc.funcs,
 		Duration:      fc.duration,
 		TotalBaseRPS:  fc.baseRPS,
 		TotalBurstRPS: fc.burstRPS,
-	})
-	merged := trace.Merge(traces)
-	invs := make([]cluster.Invocation, len(merged))
-	for i, inv := range merged {
-		invs[i] = cluster.Invocation{T: inv.T, Fn: fleet[inv.Func]}
+		Modulation:    fc.mods,
+	})}
+	tick := fc.tick
+	if tick == 0 {
+		tick = sim.Second
 	}
 	// Drain far past the trace end (10x the trace) so slow requests
 	// finish and their latencies are counted — in the pressured regimes
@@ -187,9 +255,9 @@ func fleetRun(w *World, seed uint64, fc fleetCfg) fleetStats {
 	// configuration cannot work off its backlog at all (its true tail
 	// is unbounded, not merely long). The memory series still covers
 	// only the trace window.
-	c.Play(invs, cluster.PlayConfig{
+	c.PlayStream(src, cluster.PlayConfig{
 		Shards:     fc.shards,
-		TickEvery:  sim.Second,
+		TickEvery:  tick,
 		TickUntil:  sim.Time(fc.duration),
 		DrainUntil: sim.Time(10 * fc.duration),
 		Events:     fc.events,
@@ -208,6 +276,8 @@ func fleetRun(w *World, seed uint64, fc fleetCfg) fleetStats {
 		Warm:       m.WarmStarts,
 		ColdP50Ms:  m.ColdLatMs.P50(),
 		ColdP99Ms:  m.ColdLatMs.P99(),
+		ColdP999Ms: m.ColdLatMs.Percentile(99.9),
+		WarmP99Ms:  m.WarmLatMs.P99(),
 		MemWaitP99: m.MemWaitMs.P99(),
 		Evictions:  c.Evictions(),
 		Dropped:    m.Dropped + m.AdmissionDrops,
@@ -324,6 +394,7 @@ func ClusterPoliciesPlan(opts Options) *Plan {
 				}
 				applyOptTopology(opts, &fc)
 				applyOptFaults(opts, &fc)
+				applyOptSketch(opts, &fc)
 				cells = append(cells, fleetCell{
 					fc:   fc,
 					lead: []string{policy, backend.String(), fmt.Sprintf("%d", hosts)},
@@ -364,6 +435,7 @@ func ClusterScalePlan(opts Options) *Plan {
 		}
 		applyOptTopology(opts, &fc)
 		applyOptFaults(opts, &fc)
+		applyOptSketch(opts, &fc)
 		cells = append(cells, fleetCell{
 			fc:   fc,
 			lead: []string{fmt.Sprintf("%d", hosts), fmt.Sprintf("%d", funcs)},
@@ -401,6 +473,7 @@ func ClusterOvercommitPlan(opts Options) *Plan {
 			}
 			applyOptTopology(opts, &fc)
 			applyOptFaults(opts, &fc)
+			applyOptSketch(opts, &fc)
 			cells = append(cells, fleetCell{
 				fc:   fc,
 				lead: []string{backend.String(), fmt.Sprintf("%d", gib)},

@@ -132,6 +132,7 @@ func ClusterDomainsPlan(opts Options) *Plan {
 						fc.faults = evs
 						fc.faultSeed = opts.seed()
 					}
+					applyOptSketch(opts, &fc)
 					cells = append(cells, cellCfg{
 						fc:   fc,
 						lead: []string{mode.name, policy, backend.String(), sc.name},

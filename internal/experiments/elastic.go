@@ -118,6 +118,7 @@ func ClusterElasticPlan(opts Options) *Plan {
 				}
 				applyOptTopology(opts, &fc)
 				applyOptFaults(opts, &fc)
+				applyOptSketch(opts, &fc)
 				cells = append(cells, cellCfg{
 					fc:   fc,
 					lead: []string{policy, backend.String(), churn.name},

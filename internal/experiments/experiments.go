@@ -39,6 +39,16 @@ type Options struct {
 	// draw rack-level kinds too.
 	TopoRacks int
 	TopoZones int
+	// Sketch moves every fleet experiment's latency samples into
+	// bounded-memory reservoir mode (squeezyctl -sketch). Off — the
+	// default — keeps exact percentiles; recorded tables are
+	// byte-identical only with sketches off, since sketched order
+	// statistics may differ within stats.RankErrorBound.
+	Sketch bool
+	// Days overrides the simulated length of the multi-day experiments
+	// (squeezyctl -days): cluster-diurnal replays Days simulated days of
+	// diurnally modulated traffic. 0 keeps the experiment's default.
+	Days float64
 }
 
 func (o Options) seed() uint64 {

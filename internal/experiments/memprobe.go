@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"squeezy/internal/faas"
+)
+
+// StreamMemProbe replays a streaming diurnal fleet cell of the given
+// simulated length through the real experiment cell path (fleetRun on
+// a fresh world) and reports the cell's invocation count together with
+// the peak live heap — HeapAlloc after a forced collection — observed
+// while the replay runs. A watcher goroutine samples the live heap
+// every few milliseconds with GC forced, so anything the cell keeps
+// reachable for the duration of the run (a materialized trace slice,
+// an unbounded sample) lands in the peak, while transient garbage does
+// not. load multiplies the cell's request rates: the memory-bound
+// regression test scales the invocation count through it at a fixed
+// simulated length, holding constant everything that legitimately
+// scales with simulated time or simulated memory size (the tick
+// series, buddy free-list fragmentation) while the per-invocation
+// retention it hunts would scale linearly.
+func StreamMemProbe(days, load float64) (invocations int, peakLiveHeap uint64) {
+	fc := diurnalCfg(Options{Days: days}, faas.Squeezy)
+	fc.baseRPS *= load
+	fc.burstRPS *= load
+	done := make(chan struct{})
+	peakCh := make(chan uint64)
+	go func() {
+		var peak uint64
+		var ms runtime.MemStats
+		for {
+			runtime.GC()
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+			select {
+			case <-done:
+				peakCh <- peak
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}()
+	s := fleetRun(newWorld(), 1, fc)
+	close(done)
+	return s.Invoked, <-peakCh
+}

@@ -117,6 +117,7 @@ func ClusterResiliencePlan(opts Options) *Plan {
 					faultSeed: opts.seed(),
 					resil:     mode.resil,
 				}
+				applyOptSketch(opts, &fc)
 				cells = append(cells, cellCfg{
 					fc:   fc,
 					lead: []string{mode.name, backend.String(), scenario},

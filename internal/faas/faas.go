@@ -175,6 +175,13 @@ type VMConfig struct {
 	// when this is unset). Release the kernel with FuncVM.Release once
 	// the VM is dead.
 	Recycle *guestos.Recycler
+	// LeanMetrics skips the per-request Completions log and the
+	// per-function Latencies samples, both of which grow with request
+	// count. Bounded-memory fleet replays (cluster sketch mode) set it:
+	// latencies there aggregate in the cluster's reservoir samples, and
+	// nothing per-VM may scale with invocations. Off by default —
+	// the single-VM experiments (fig9, fig10) read both records.
+	LeanMetrics bool
 }
 
 // sizes derives the block-aligned memory geometry of a VM with this
@@ -919,13 +926,15 @@ func (fv *FuncVM) completeRequest(inst *Instance, req *request, cold bool, phase
 		Fn: req.fn, Arrival: req.arrival, Done: now,
 		Latency: lat, Cold: cold, Phases: phases,
 	}
-	s := fv.Latencies[req.fn.Name]
-	if s == nil {
-		s = &stats.Sample{}
-		fv.Latencies[req.fn.Name] = s
+	if !fv.Cfg.LeanMetrics {
+		s := fv.Latencies[req.fn.Name]
+		if s == nil {
+			s = &stats.Sample{}
+			fv.Latencies[req.fn.Name] = s
+		}
+		s.Add(lat.Milliseconds())
+		fv.Completions = append(fv.Completions, Completion{At: now, Latency: lat, Fn: req.fn.Name, Cold: cold})
 	}
-	s.Add(lat.Milliseconds())
-	fv.Completions = append(fv.Completions, Completion{At: now, Latency: lat, Fn: req.fn.Name, Cold: cold})
 
 	inst.state = instIdle
 	inst.idleSince = now

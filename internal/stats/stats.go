@@ -16,48 +16,71 @@ import (
 // O(n + k log k) for k new points — instead of re-sorting all n
 // observations on every percentile call. Min, Max, Sum, and Mean are
 // tracked on Add and never trigger a sort.
+//
+// EnableSketch (sketch.go) switches a sample to bounded-memory
+// reservoir mode: O(K) memory at any observation count, exact
+// N/Sum/Mean/Min/Max, and order statistics within RankErrorBound(K)
+// of exact. Exact mode is the default and is untouched by the sketch
+// machinery.
 type Sample struct {
 	xs       []float64 // observations; xs[:nsorted] is sorted ascending
 	nsorted  int       // length of the sorted prefix
 	scratch  []float64 // merge buffer, reused across queries
 	sum      float64
 	min, max float64
+	sk       *sketch // non-nil selects reservoir mode (sketch.go)
 }
 
 // Add appends an observation.
 func (s *Sample) Add(v float64) {
-	if len(s.xs) == 0 || v < s.min {
+	if s.N() == 0 || v < s.min {
 		s.min = v
 	}
-	if len(s.xs) == 0 || v > s.max {
+	if s.N() == 0 || v > s.max {
 		s.max = v
 	}
-	s.xs = append(s.xs, v)
 	s.sum += v
+	if s.sk != nil {
+		s.sk.add(v)
+		return
+	}
+	s.xs = append(s.xs, v)
 }
 
-// Reset empties the sample while keeping its buffers, so a pooled
-// metrics struct can be reused across simulation runs.
+// Reset empties the sample while keeping its buffers (and, in sketch
+// mode, the sketch configuration), so a pooled metrics struct can be
+// reused across simulation runs. A reset sketched sample restarts its
+// counter-mode priority stream from zero: reset-then-refill is
+// byte-identical to a fresh sketch with the same configuration.
 func (s *Sample) Reset() {
 	s.xs = s.xs[:0]
 	s.nsorted = 0
 	s.sum = 0
 	s.min = 0
 	s.max = 0
+	if s.sk != nil {
+		s.sk.reset()
+	}
 }
 
-// N returns the number of observations.
-func (s *Sample) N() int { return len(s.xs) }
+// N returns the number of observations (exact in both modes).
+func (s *Sample) N() int {
+	if s.sk != nil {
+		return s.sk.n
+	}
+	return len(s.xs)
+}
 
 // Sum returns the sum of all observations.
 func (s *Sample) Sum() float64 { return s.sum }
 
 // Mean returns the arithmetic mean, or 0 for an empty sample.
 func (s *Sample) Mean() float64 {
-	if len(s.xs) == 0 {
+	n := s.N()
+	if n == 0 {
 		return 0
 	}
-	return s.sum / float64(len(s.xs))
+	return s.sum / float64(n)
 }
 
 // Min returns the smallest observation, or 0 for an empty sample.
@@ -66,11 +89,25 @@ func (s *Sample) Min() float64 { return s.min }
 // Max returns the largest observation, or 0 for an empty sample.
 func (s *Sample) Max() float64 { return s.max }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) using linear
-// interpolation between closest ranks. It returns 0 for an empty sample.
+// Percentile returns the p-th percentile using linear interpolation
+// between closest ranks. Boundary behavior, pinned by the property
+// tests:
+//
+//   - N == 0 returns 0 for every p, including p = 0 and p = 100.
+//   - N == 1 returns the single observation for every p.
+//   - p <= 0 returns Min() and p >= 100 returns Max(), exactly — in
+//     sketch mode too, where both extremes are tracked outside the
+//     reservoir.
+//   - p = NaN panics: a NaN rank would silently index garbage, and a
+//     caller computing percentiles from NaN arithmetic has a bug.
+//
+// In sketch mode interior percentiles interpolate over the reservoir
+// instead of the full sample, within RankErrorBound(K) of exact rank.
 func (s *Sample) Percentile(p float64) float64 {
-	n := len(s.xs)
-	if n == 0 {
+	if math.IsNaN(p) {
+		panic("stats: Percentile(NaN)")
+	}
+	if s.N() == 0 {
 		return 0
 	}
 	if p <= 0 {
@@ -79,15 +116,25 @@ func (s *Sample) Percentile(p float64) float64 {
 	if p >= 100 {
 		return s.Max()
 	}
-	s.ensureSorted()
+	var xs []float64
+	if s.sk != nil {
+		xs = s.sk.sortedVals()
+		if len(xs) == 0 {
+			return 0
+		}
+	} else {
+		s.ensureSorted()
+		xs = s.xs
+	}
+	n := len(xs)
 	rank := p / 100 * float64(n-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return s.xs[lo]
+		return xs[lo]
 	}
 	frac := rank - float64(lo)
-	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+	return xs[lo]*(1-frac) + xs[hi]*frac
 }
 
 // P50 returns the median.
@@ -100,11 +147,22 @@ func (s *Sample) P99() float64 { return s.Percentile(99) }
 func (s *Sample) P999() float64 { return s.Percentile(99.9) }
 
 // Stddev returns the population standard deviation, or 0 for fewer than
-// two observations.
+// two observations. Sketch mode computes it exactly from the tracked
+// moments (n, sum, sum of squares) — it is not an estimate, though the
+// one-pass moment formula can differ from the exact-mode two-pass
+// result by floating-point rounding.
 func (s *Sample) Stddev() float64 {
-	n := len(s.xs)
+	n := s.N()
 	if n < 2 {
 		return 0
+	}
+	if s.sk != nil {
+		m := s.Mean()
+		varc := s.sk.sumsq/float64(n) - m*m
+		if varc < 0 {
+			varc = 0
+		}
+		return math.Sqrt(varc)
 	}
 	m := s.Mean()
 	var ss float64
@@ -119,15 +177,50 @@ func (s *Sample) Stddev() float64 {
 // the result depend only on the combined multiset of observations, so
 // merging per-shard samples in any fixed order reproduces the
 // order-statistics of a single globally-accumulated sample.
+//
+// Sketched samples merge with sketched samples of the same capacity
+// (the union's bottom-K reservoir — commutative and associative, so
+// any merge order is byte-identical); mixing a sketched sample with an
+// exact one panics, because silently dropping or re-prioritizing
+// observations across the mode boundary would corrupt both contracts.
 func (s *Sample) Merge(o *Sample) {
+	if (s.sk != nil) != (o.sk != nil) {
+		panic(sketchMergePanic(s, o))
+	}
+	if s.sk != nil {
+		if s.sk.cfg.K != o.sk.cfg.K {
+			panic(fmt.Sprintf("stats: merging sketches with different capacities (%d vs %d)", s.sk.cfg.K, o.sk.cfg.K))
+		}
+		if o.sk.n == 0 {
+			return
+		}
+		if s.sk.n == 0 || o.min < s.min {
+			s.min = o.min
+		}
+		if s.sk.n == 0 || o.max > s.max {
+			s.max = o.max
+		}
+		s.sum += o.sum
+		s.sk.merge(o.sk)
+		s.sk.sorted = false
+		return
+	}
 	for _, v := range o.xs {
 		s.Add(v)
 	}
 }
 
-// Values returns a copy of the observations in insertion order is not
-// guaranteed; the slice may be sorted.
+// Values returns a copy of the retained observations; insertion order
+// is not guaranteed (the slice may be sorted). In sketch mode only the
+// reservoir's observations are returned.
 func (s *Sample) Values() []float64 {
+	if s.sk != nil {
+		out := make([]float64, 0, len(s.sk.ents))
+		for _, e := range s.sk.ents {
+			out = append(out, e.v)
+		}
+		return out
+	}
 	out := make([]float64, len(s.xs))
 	copy(out, s.xs)
 	return out
@@ -242,6 +335,25 @@ func (p *PhasedSample) Reset() {
 	}
 }
 
+// EnableSketch switches every phase to bounded-memory reservoir mode,
+// deriving a distinct priority sub-stream per phase (FNV-folded off
+// cfg.Stream) so phases stay uncorrelated. Like Sample.EnableSketch it
+// must be called while the phases are empty.
+func (p *PhasedSample) EnableSketch(cfg SketchConfig) {
+	for i, s := range p.phases {
+		c := cfg
+		c.Stream = cfg.Stream*0x100000001B3 + uint64(i) + 1
+		s.EnableSketch(c)
+	}
+}
+
+// DisableSketch returns every (empty) phase to exact mode.
+func (p *PhasedSample) DisableSketch() {
+	for _, s := range p.phases {
+		s.DisableSketch()
+	}
+}
+
 // Geomean returns the geometric mean of xs. Non-positive values and an
 // empty slice yield 0, matching the "undefined" convention used when a
 // speedup table contains a zero entry.
@@ -274,18 +386,24 @@ func (ts *TimeSeries) Reset() {
 }
 
 // Reserve grows the series' capacity to hold at least n points, so a
-// driver that knows its sampling cadence can pre-size the buffers once
-// instead of growing them through repeated appends.
+// driver that knows its sampling cadence (e.g. one tick per simulated
+// second across a multi-day run) can pre-size the buffers once instead
+// of growing them through repeated appends. Each buffer is checked
+// independently: a pooled series whose Times and Values capacities
+// diverged (buffer swaps, partial growth) is fully sized either way —
+// the old single-cap check could leave Values under-sized and
+// reallocating throughout a multi-day run.
 func (ts *TimeSeries) Reserve(n int) {
-	if n <= cap(ts.Times) {
-		return
+	if n > cap(ts.Times) {
+		times := make([]float64, len(ts.Times), n)
+		copy(times, ts.Times)
+		ts.Times = times
 	}
-	times := make([]float64, len(ts.Times), n)
-	copy(times, ts.Times)
-	ts.Times = times
-	values := make([]float64, len(ts.Values), n)
-	copy(values, ts.Values)
-	ts.Values = values
+	if n > cap(ts.Values) {
+		values := make([]float64, len(ts.Values), n)
+		copy(values, ts.Values)
+		ts.Values = values
+	}
 }
 
 // Append adds a point. Times must be non-decreasing; Append panics

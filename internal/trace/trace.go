@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"math"
 	"math/rand/v2"
 	"sort"
 
@@ -28,48 +27,18 @@ type BurstyConfig struct {
 	BurstLen sim.Duration
 	// BurstGap is the mean quiet gap between bursts.
 	BurstGap sim.Duration
+	// Modulation layers sinusoidal rate modulation (diurnal, weekly)
+	// onto both the base and burst rates. Empty modulation is
+	// byte-identical to the unmodulated generator: the factor is not
+	// even computed.
+	Modulation []DiurnalConfig
 }
 
-// GenBursty synthesizes a bursty Poisson-modulated trace. The same seed
-// always yields the same trace.
+// GenBursty synthesizes a bursty Poisson-modulated trace by collecting
+// the streaming cursor (NewBursty). The same seed always yields the
+// same trace.
 func GenBursty(seed uint64, cfg BurstyConfig) *Trace {
-	rng := rand.New(rand.NewPCG(seed, 0x5eed))
-	var times []sim.Time
-	now := sim.Time(0)
-	end := sim.Time(cfg.Duration)
-	inBurst := false
-	phaseEnd := now.Add(expDur(rng, cfg.BurstGap))
-	for now < end {
-		rate := cfg.BaseRPS
-		if inBurst {
-			rate = cfg.BurstRPS
-		}
-		var next sim.Time
-		if rate <= 0 {
-			next = end
-		} else {
-			gap := sim.Duration(rng.ExpFloat64() / rate * float64(sim.Second))
-			if gap < sim.Microsecond {
-				gap = sim.Microsecond
-			}
-			next = now.Add(gap)
-		}
-		if next >= phaseEnd {
-			now = phaseEnd
-			inBurst = !inBurst
-			if inBurst {
-				phaseEnd = now.Add(expDur(rng, cfg.BurstLen))
-			} else {
-				phaseEnd = now.Add(expDur(rng, cfg.BurstGap))
-			}
-			continue
-		}
-		now = next
-		if now < end {
-			times = append(times, now)
-		}
-	}
-	return &Trace{Times: times}
+	return Collect(NewBursty(seed, cfg))
 }
 
 func expDur(rng *rand.Rand, mean sim.Duration) sim.Duration {
@@ -104,14 +73,7 @@ func GenTopTen(seed uint64, duration sim.Duration) []*Trace {
 func TopTenTrace(seed uint64, duration sim.Duration, i int) *Trace {
 	// Popularity decays across the top-10 ranks; the busiest
 	// functions see hundreds of requests per second in bursts.
-	rank := float64(i + 1)
-	return GenBursty(seed+uint64(i)*101, BurstyConfig{
-		Duration: duration,
-		BaseRPS:  12 / rank,
-		BurstRPS: 220 / rank,
-		BurstLen: 25 * sim.Second,
-		BurstGap: 70 * sim.Second,
-	})
+	return Collect(TopTenStream(seed, duration, i))
 }
 
 // FleetConfig parameterizes the fleet generator: many functions whose
@@ -135,6 +97,11 @@ type FleetConfig struct {
 	// fleet load is bursty but rarely synchronized.
 	BurstLen sim.Duration
 	BurstGap sim.Duration
+	// Modulation layers sinusoidal rate modulation (diurnal, weekly)
+	// onto every function's rates — the fleet-aggregate rate swings by
+	// the same factor. Empty modulation is byte-identical to the
+	// unmodulated generator.
+	Modulation []DiurnalConfig
 }
 
 // GenFleet synthesizes one bursty trace per function, with aggregate
@@ -143,37 +110,17 @@ type FleetConfig struct {
 // the shape that makes fleet placement interesting (hot functions need
 // instances everywhere; the tail pays a cold start almost every time).
 // The same seed always yields the same traces.
+//
+// GenFleet materializes; NewFleetStream replays the identical fleet as
+// a merged stream in O(funcs) memory.
 func GenFleet(seed uint64, cfg FleetConfig) []*Trace {
-	if cfg.Funcs <= 0 {
+	cursors := FleetCursors(seed, cfg)
+	if cursors == nil {
 		return nil
 	}
-	s := cfg.ZipfS
-	if s == 0 {
-		s = 1.1
-	}
-	burstLen, burstGap := cfg.BurstLen, cfg.BurstGap
-	if burstLen <= 0 {
-		burstLen = 20 * sim.Second
-	}
-	if burstGap <= 0 {
-		burstGap = 45 * sim.Second
-	}
-	weights := make([]float64, cfg.Funcs)
-	var total float64
-	for i := range weights {
-		weights[i] = math.Pow(float64(i+1), -s)
-		total += weights[i]
-	}
-	traces := make([]*Trace, cfg.Funcs)
-	for i := range traces {
-		share := weights[i] / total
-		traces[i] = GenBursty(fleetSeed(seed, uint64(i)), BurstyConfig{
-			Duration: cfg.Duration,
-			BaseRPS:  cfg.TotalBaseRPS * share,
-			BurstRPS: cfg.TotalBurstRPS * share,
-			BurstLen: burstLen,
-			BurstGap: burstGap,
-		})
+	traces := make([]*Trace, len(cursors))
+	for i, c := range cursors {
+		traces[i] = Collect(c)
 	}
 	return traces
 }

@@ -96,6 +96,17 @@ func Functions() []*Function {
 	}
 }
 
+// fleetMember builds the rank-i fleet function from the base profiles:
+// cycle the four Table-1 profiles under distinct names ("f003-Bert")
+// and spread shedding classes across ranks so every priority mixes hot
+// and cold functions.
+func fleetMember(base []*Function, i int) *Function {
+	f := *base[i%len(base)]
+	f.Name = fmt.Sprintf("f%03d-%s", i, f.Name)
+	f.Priority = i % 3
+	return &f
+}
+
 // Fleet synthesizes n functions for fleet-scale experiments by cycling
 // the four Table-1 profiles under distinct names ("f003-Bert"). Ranks
 // are meant to be paired with trace.GenFleet, whose Zipf split makes
@@ -105,14 +116,31 @@ func Fleet(n int) []*Function {
 	base := Functions()
 	fleet := make([]*Function, n)
 	for i := range fleet {
-		f := *base[i%len(base)]
-		f.Name = fmt.Sprintf("f%03d-%s", i, f.Name)
-		// Spread shedding classes across ranks so every priority mixes
-		// hot and cold functions.
-		f.Priority = i % 3
-		fleet[i] = &f
+		fleet[i] = fleetMember(base, i)
 	}
 	return fleet
+}
+
+// FleetPool hands out fleet members by rank, building each lazily on
+// first use and memoizing it so every lookup of rank i returns the
+// same *Function — the identity the dispatcher keys warm instances on.
+// Streaming replays (trace cursors, CSV traces) use it when the
+// function universe isn't known up front: memory stays O(distinct
+// ranks seen), and Get(i) is always identical in value to Fleet(n)[i].
+type FleetPool struct {
+	base []*Function
+	fns  []*Function
+}
+
+// Get returns the rank-i fleet member, building it if needed.
+func (p *FleetPool) Get(i int) *Function {
+	if p.base == nil {
+		p.base = Functions()
+	}
+	for len(p.fns) <= i {
+		p.fns = append(p.fns, fleetMember(p.base, len(p.fns)))
+	}
+	return p.fns[i]
 }
 
 // LongHaul returns a synthetic long-running function whose warm
